@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+corresponding ``repro.experiments`` module, asserts the qualitative shape the
+paper reports, and prints the regenerated rows so the numbers can be copied
+into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def report(result) -> None:
+    """Print the regenerated table under the benchmark output."""
+    print()
+    print(result.format_table())

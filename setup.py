@@ -1,0 +1,4 @@
+"""Setuptools shim so `pip install -e .` / `python setup.py develop` work offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""Specialized recommendation accelerators: the Centaur-like baseline and RPAccel.
+
+The paper's accelerator methodology (Section 4) is two-level: a per-query
+latency model built from cycle-level component models (systolic array, top-k
+filtering unit, embedding caches, PCIe) feeds an at-scale simulator that
+measures tail latency and throughput under Poisson load.  This package holds
+the component models and the two accelerator compositions:
+
+* :class:`~repro.accel.baseline.BaselineAccelerator` -- a single-stage,
+  TPU-like recommendation accelerator with a monolithic systolic array and a
+  static hot-embedding cache; top-k filtering between stages (when forced to
+  run multi-stage pipelines) is offloaded to the host over PCIe.
+* :class:`~repro.accel.rpaccel.RPAccel` -- the proposed accelerator with a
+  reconfigurable (fission) systolic array, on-chip streaming top-k filtering
+  units, a static + look-ahead embedding cache pair, and sub-batch pipelining
+  of frontend and backend stages.
+"""
+
+from repro.accel.systolic import ReconfigurableArray, SubArray, SystolicArrayConfig
+from repro.accel.topk import TopKFilterUnit, TopKFilterConfig
+from repro.accel.embedding_cache import (
+    EmbeddingCacheConfig,
+    MultiStageEmbeddingCache,
+    StaticCachePartition,
+)
+from repro.accel.area_power import AreaPowerModel, AreaPowerBreakdown
+from repro.accel.ssd import SsdScalingModel, SsdScalingPoint
+from repro.accel.baseline import BaselineAccelerator, BaselineConfig
+from repro.accel.rpaccel import RPAccel, RPAccelConfig, StageExecution
+
+__all__ = [
+    "SystolicArrayConfig",
+    "SubArray",
+    "ReconfigurableArray",
+    "TopKFilterUnit",
+    "TopKFilterConfig",
+    "EmbeddingCacheConfig",
+    "StaticCachePartition",
+    "MultiStageEmbeddingCache",
+    "AreaPowerModel",
+    "AreaPowerBreakdown",
+    "SsdScalingModel",
+    "SsdScalingPoint",
+    "BaselineAccelerator",
+    "BaselineConfig",
+    "RPAccel",
+    "RPAccelConfig",
+    "StageExecution",
+]

@@ -1,0 +1,211 @@
+"""Mapping multi-stage pipelines onto hardware (RecPipe step 2).
+
+Each builder turns a :class:`~repro.core.pipeline.PipelineConfig` into a
+:class:`~repro.serving.resources.PipelinePlan`:
+
+* **CPU-only** -- every stage runs on CPU cores, one query per core per
+  stage; the 64 cores are partitioned across stages proportionally to each
+  stage's per-query service time, so the bottleneck stage is minimized.
+* **GPU-only** -- every stage runs data-parallel on the single GPU.
+* **Heterogeneous GPU-CPU** -- each stage is pinned to a device; whenever
+  consecutive stages run on different devices the intermediate candidates
+  cross PCIe, which is the overhead that limits multi-stage GPU-CPU designs
+  in the paper's Section 5.2.
+* **Accelerator** -- delegates to the baseline accelerator or RPAccel models
+  in :mod:`repro.accel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.accel.baseline import BaselineAccelerator
+from repro.accel.rpaccel import RPAccel
+from repro.core.pipeline import PipelineConfig
+from repro.hardware.cpu import CPUPerformanceModel
+from repro.hardware.gpu import GPUPerformanceModel
+from repro.hardware.pcie import PCIeModel
+from repro.serving.resources import PipelinePlan, StageResource
+
+
+@dataclass
+class HardwarePool:
+    """The hardware available to the RecPipe scheduler."""
+
+    cpu: CPUPerformanceModel = field(default_factory=CPUPerformanceModel)
+    gpu: GPUPerformanceModel = field(default_factory=GPUPerformanceModel)
+    pcie: PCIeModel = field(default_factory=PCIeModel)
+    baseline_accel: BaselineAccelerator = field(default_factory=BaselineAccelerator)
+    rpaccel: RPAccel = field(default_factory=RPAccel)
+
+
+def build_cpu_plan(
+    pipeline: PipelineConfig,
+    cpu: CPUPerformanceModel,
+    num_tables: int = 26,
+    total_cores: int | None = None,
+) -> PipelinePlan:
+    """CPU-only mapping: cores partitioned across stages proportional to load."""
+    costs = pipeline.stage_costs(num_tables)
+    items = pipeline.stage_items()
+    services = [cpu.stage_latency(cost, n) for cost, n in zip(costs, items)]
+    cores = total_cores if total_cores is not None else cpu.num_servers
+    if cores < len(services):
+        raise ValueError(
+            f"need at least one core per stage: {cores} cores for {len(services)} stages"
+        )
+    allocation = _proportional_allocation(services, cores)
+    stages = [
+        StageResource(
+            name=f"cpu:{cost.name}@{n}",
+            num_servers=alloc,
+            service_seconds=service,
+        )
+        for cost, n, service, alloc in zip(costs, items, services, allocation)
+    ]
+    return PipelinePlan(
+        platform="cpu",
+        stages=stages,
+        description=f"CPU-only mapping of {pipeline.name} across {cores} cores",
+    )
+
+
+def build_gpu_plan(
+    pipeline: PipelineConfig,
+    gpu: GPUPerformanceModel,
+    pcie: PCIeModel | None = None,
+    num_tables: int = 26,
+    num_dense: int = 13,
+) -> PipelinePlan:
+    """GPU-only mapping: every stage runs data-parallel on the one GPU."""
+    pcie = pcie if pcie is not None else PCIeModel()
+    costs = pipeline.stage_costs(num_tables)
+    items = pipeline.stage_items()
+    stages = []
+    for i, (cost, n) in enumerate(zip(costs, items)):
+        transfer = 0.0
+        if i == 0:
+            transfer = pcie.transfer_seconds(
+                pcie.candidate_payload_bytes(n, num_dense, cost.embedding_lookups_per_item)
+            )
+        stages.append(
+            StageResource(
+                name=f"gpu:{cost.name}@{n}",
+                num_servers=gpu.num_servers,
+                service_seconds=gpu.stage_latency(cost, n),
+                transfer_seconds=transfer,
+            )
+        )
+    return PipelinePlan(
+        platform="gpu",
+        stages=stages,
+        description=f"GPU-only mapping of {pipeline.name}",
+    )
+
+
+def build_heterogeneous_plan(
+    pipeline: PipelineConfig,
+    devices: Sequence[str],
+    cpu: CPUPerformanceModel,
+    gpu: GPUPerformanceModel,
+    pcie: PCIeModel | None = None,
+    num_tables: int = 26,
+    num_dense: int = 13,
+) -> PipelinePlan:
+    """Heterogeneous mapping: each stage pinned to ``"cpu"`` or ``"gpu"``.
+
+    Crossing devices between consecutive stages (or feeding the GPU from the
+    host at the start of the query) charges a PCIe transfer of the candidate
+    payload entering that stage.
+    """
+    if len(devices) != pipeline.num_stages:
+        raise ValueError(
+            f"need one device per stage: {len(devices)} devices for "
+            f"{pipeline.num_stages} stages"
+        )
+    for device in devices:
+        if device not in ("cpu", "gpu"):
+            raise ValueError(f"unknown device {device!r}; expected 'cpu' or 'gpu'")
+    pcie = pcie if pcie is not None else PCIeModel()
+    costs = pipeline.stage_costs(num_tables)
+    items = pipeline.stage_items()
+
+    cpu_stage_services = [
+        cpu.stage_latency(cost, n)
+        for cost, n, device in zip(costs, items, devices)
+        if device == "cpu"
+    ]
+    cpu_allocation = (
+        _proportional_allocation(cpu_stage_services, cpu.num_servers)
+        if cpu_stage_services
+        else []
+    )
+
+    stages = []
+    cpu_index = 0
+    previous_device = "host"
+    for i, (cost, n, device) in enumerate(zip(costs, items, devices)):
+        transfer = 0.0
+        crosses_pcie = (device == "gpu" and previous_device != "gpu") or (
+            device == "cpu" and previous_device == "gpu"
+        )
+        if crosses_pcie:
+            transfer = pcie.transfer_seconds(
+                pcie.candidate_payload_bytes(n, num_dense, cost.embedding_lookups_per_item)
+            )
+        if device == "cpu":
+            servers = cpu_allocation[cpu_index]
+            cpu_index += 1
+            service = cpu.stage_latency(cost, n)
+        else:
+            servers = gpu.num_servers
+            service = gpu.stage_latency(cost, n)
+        stages.append(
+            StageResource(
+                name=f"{device}:{cost.name}@{n}",
+                num_servers=servers,
+                service_seconds=service,
+                transfer_seconds=transfer,
+            )
+        )
+        previous_device = device
+    return PipelinePlan(
+        platform="-".join(devices),
+        stages=stages,
+        description=f"Heterogeneous mapping of {pipeline.name} onto {list(devices)}",
+    )
+
+
+def build_accelerator_plan(
+    pipeline: PipelineConfig,
+    accelerator: BaselineAccelerator | RPAccel,
+    num_tables: int = 26,
+    **plan_kwargs,
+) -> PipelinePlan:
+    """Accelerator mapping: delegate to the baseline or RPAccel model."""
+    costs = pipeline.stage_costs(num_tables)
+    items = pipeline.stage_items()
+    if isinstance(accelerator, BaselineAccelerator):
+        return accelerator.plan_query(costs, items)
+    return accelerator.plan_query(costs, items, **plan_kwargs)
+
+
+def _proportional_allocation(services: Sequence[float], total: int) -> list[int]:
+    """Split ``total`` servers across stages proportionally to their load."""
+    if not services:
+        raise ValueError("at least one stage is required")
+    if total < len(services):
+        raise ValueError("need at least one server per stage")
+    weights = [max(s, 1e-12) for s in services]
+    weight_sum = sum(weights)
+    allocation = [max(1, int(total * w / weight_sum)) for w in weights]
+    # Fix rounding so the allocation sums exactly to ``total``.
+    while sum(allocation) > total:
+        idx = allocation.index(max(allocation))
+        allocation[idx] -= 1
+    while sum(allocation) < total:
+        deficits = [w / a for w, a in zip(weights, allocation)]
+        idx = deficits.index(max(deficits))
+        allocation[idx] += 1
+    return allocation

@@ -1,0 +1,49 @@
+"""Pareto-frontier extraction used throughout the design-space exploration."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_frontier(
+    items: Sequence[T],
+    objectives: Callable[[T], tuple[float, ...]],
+    minimize: Sequence[bool],
+) -> list[T]:
+    """Return the Pareto-optimal subset of ``items``.
+
+    ``objectives`` maps an item to its objective tuple; ``minimize`` flags,
+    per objective, whether smaller is better.  An item is kept if no other
+    item is at least as good on every objective and strictly better on one.
+    """
+    if not items:
+        return []
+    values = [objectives(item) for item in items]
+    width = len(values[0])
+    if len(minimize) != width:
+        raise ValueError(
+            f"minimize must have one flag per objective: got {len(minimize)} for {width}"
+        )
+    if any(len(v) != width for v in values):
+        raise ValueError("all objective tuples must have the same length")
+
+    # Normalize to minimization.
+    normalized = [
+        tuple(v if flag else -v for v, flag in zip(vals, minimize)) for vals in values
+    ]
+    frontier: list[T] = []
+    for i, item in enumerate(items):
+        dominated = False
+        for j, other in enumerate(normalized):
+            if j == i:
+                continue
+            if all(o <= s for o, s in zip(other, normalized[i])) and any(
+                o < s for o, s in zip(other, normalized[i])
+            ):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(item)
+    return frontier

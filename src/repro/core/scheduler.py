@@ -1,0 +1,195 @@
+"""The RecPipe scheduler: exhaustive design-space exploration.
+
+The scheduler combines the three ingredients of the paper's methodology:
+
+1. the multi-stage configuration space (models per stage x items per stage x
+   number of stages) from :func:`repro.core.pipeline.enumerate_pipelines`,
+2. quality evaluation over a query workload (:class:`repro.quality.QualityEvaluator`),
+3. performance evaluation by mapping each configuration onto a hardware
+   platform and simulating it under Poisson load (:mod:`repro.core.mapping` +
+   :mod:`repro.serving`).
+
+Its outputs are the cross-sections the paper analyzes: quality/latency
+Pareto frontiers at a fixed load (iso-throughput), latency/throughput curves
+at a fixed quality target (iso-quality), and the best configuration meeting a
+tail-latency SLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.mapping import (
+    HardwarePool,
+    build_accelerator_plan,
+    build_cpu_plan,
+    build_gpu_plan,
+    build_heterogeneous_plan,
+)
+from repro.core.pareto import pareto_frontier
+from repro.core.pipeline import PipelineConfig
+from repro.quality.evaluator import QualityEvaluator
+from repro.serving.resources import PipelinePlan
+from repro.serving.simulator import ServingSimulator, SimulationConfig
+
+
+@dataclass(frozen=True)
+class EvaluatedConfig:
+    """One pipeline configuration mapped to one platform and load."""
+
+    pipeline: PipelineConfig
+    platform: str
+    quality: float
+    p99_latency: float
+    unloaded_latency: float
+    throughput_capacity: float
+    offered_qps: float
+    saturated: bool
+
+    @property
+    def feasible(self) -> bool:
+        return not self.saturated
+
+    def meets(self, quality_target: float, sla_seconds: float) -> bool:
+        return (
+            self.feasible
+            and self.quality >= quality_target
+            and self.p99_latency <= sla_seconds
+        )
+
+
+@dataclass
+class RecPipeScheduler:
+    """Explore multi-stage configurations across heterogeneous hardware."""
+
+    evaluator: QualityEvaluator
+    hardware: HardwarePool = field(default_factory=HardwarePool)
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    num_tables: int = 26
+
+    # ------------------------------------------------------------------ #
+    # Plan construction
+    # ------------------------------------------------------------------ #
+    def plan_for(
+        self,
+        pipeline: PipelineConfig,
+        platform: str,
+        devices: Sequence[str] | None = None,
+        **accel_kwargs,
+    ) -> PipelinePlan:
+        """Build the serving plan of ``pipeline`` on ``platform``.
+
+        ``platform`` is one of ``"cpu"``, ``"gpu"``, ``"gpu-cpu"`` (frontend
+        stages on the GPU, the rest on the CPU, unless ``devices`` overrides
+        the assignment), ``"baseline-accel"`` or ``"rpaccel"``.
+        """
+        hw = self.hardware
+        if platform == "cpu":
+            return build_cpu_plan(pipeline, hw.cpu, num_tables=self.num_tables)
+        if platform == "gpu":
+            return build_gpu_plan(pipeline, hw.gpu, hw.pcie, num_tables=self.num_tables)
+        if platform == "gpu-cpu":
+            if devices is None:
+                devices = ["gpu"] + ["cpu"] * (pipeline.num_stages - 1)
+            return build_heterogeneous_plan(
+                pipeline, devices, hw.cpu, hw.gpu, hw.pcie, num_tables=self.num_tables
+            )
+        if platform == "baseline-accel":
+            return build_accelerator_plan(
+                pipeline, hw.baseline_accel, num_tables=self.num_tables
+            )
+        if platform == "rpaccel":
+            return build_accelerator_plan(
+                pipeline, hw.rpaccel, num_tables=self.num_tables, **accel_kwargs
+            )
+        raise ValueError(
+            f"unknown platform {platform!r}; expected cpu, gpu, gpu-cpu, "
+            "baseline-accel or rpaccel"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        pipeline: PipelineConfig,
+        platform: str,
+        qps: float,
+        devices: Sequence[str] | None = None,
+        sub_batches: int = 1,
+        **accel_kwargs,
+    ) -> EvaluatedConfig:
+        """Quality + at-scale performance of one configuration on one platform."""
+        quality = self.evaluator.evaluate(
+            pipeline.funnel_stages(), sub_batches=sub_batches
+        )
+        plan = self.plan_for(pipeline, platform, devices=devices, **accel_kwargs)
+        simulator = ServingSimulator(plan, self.simulation)
+        capacity = plan.throughput_capacity()
+        saturated = plan.utilization(qps) >= self.simulation.saturation_utilization
+        if saturated:
+            p99 = float("inf")
+        else:
+            p99 = simulator.run(qps).p99_latency
+        return EvaluatedConfig(
+            pipeline=pipeline,
+            platform=platform,
+            quality=quality,
+            p99_latency=p99,
+            unloaded_latency=plan.unloaded_latency(),
+            throughput_capacity=capacity,
+            offered_qps=qps,
+            saturated=saturated,
+        )
+
+    def evaluate_many(
+        self,
+        pipelines: Sequence[PipelineConfig],
+        platform: str,
+        qps: float,
+        **kwargs,
+    ) -> list[EvaluatedConfig]:
+        return [self.evaluate(p, platform, qps, **kwargs) for p in pipelines]
+
+    # ------------------------------------------------------------------ #
+    # Cross-sections of the design space
+    # ------------------------------------------------------------------ #
+    def quality_latency_frontier(
+        self, evaluated: Sequence[EvaluatedConfig]
+    ) -> list[EvaluatedConfig]:
+        """Pareto frontier of (maximize quality, minimize p99) at fixed load."""
+        feasible = [e for e in evaluated if e.feasible]
+        return pareto_frontier(
+            feasible,
+            objectives=lambda e: (e.quality, e.p99_latency),
+            minimize=[False, True],
+        )
+
+    def best_at_iso_quality(
+        self,
+        evaluated: Sequence[EvaluatedConfig],
+        quality_target: float,
+        key: Callable[[EvaluatedConfig], float] | None = None,
+    ) -> EvaluatedConfig | None:
+        """Lowest-latency feasible configuration meeting the quality target."""
+        key = key if key is not None else (lambda e: e.p99_latency)
+        candidates = [
+            e for e in evaluated if e.feasible and e.quality >= quality_target
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=key)
+
+    def best_quality_under_sla(
+        self,
+        evaluated: Sequence[EvaluatedConfig],
+        sla_seconds: float,
+    ) -> EvaluatedConfig | None:
+        """Highest-quality feasible configuration within the latency SLA."""
+        candidates = [
+            e for e in evaluated if e.feasible and e.p99_latency <= sla_seconds
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda e: e.quality)

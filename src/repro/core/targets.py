@@ -1,0 +1,38 @@
+"""Application-level targets: quality, tail latency, throughput (Section 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ApplicationTargets:
+    """The three application-level targets a deployment must meet.
+
+    Attributes:
+        quality_target: minimum acceptable NDCG (percent) of the served list.
+        sla_seconds: p99 tail-latency SLA.
+        qps: offered system load (queries per second, Poisson arrivals).
+    """
+
+    quality_target: float = 0.0
+    sla_seconds: float = float("inf")
+    qps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.quality_target < 0 or self.quality_target > 100:
+            raise ValueError("quality_target must lie in [0, 100]")
+        if self.sla_seconds <= 0:
+            raise ValueError("sla_seconds must be positive")
+        if self.qps < 0:
+            raise ValueError("qps must be non-negative")
+
+    def with_qps(self, qps: float) -> "ApplicationTargets":
+        return ApplicationTargets(
+            quality_target=self.quality_target, sla_seconds=self.sla_seconds, qps=qps
+        )
+
+    def with_quality(self, quality_target: float) -> "ApplicationTargets":
+        return ApplicationTargets(
+            quality_target=quality_target, sla_seconds=self.sla_seconds, qps=self.qps
+        )

@@ -1,0 +1,118 @@
+"""Dataset containers shared by the synthetic Criteo and MovieLens generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CTRBatch:
+    """A batch of click-through-rate training samples.
+
+    Attributes:
+        dense: continuous features, shape ``(batch, num_dense)``.
+        sparse: one categorical index per embedding table,
+            shape ``(batch, num_tables)``.
+        labels: binary click labels in ``{0, 1}``, shape ``(batch,)``.
+    """
+
+    dense: np.ndarray
+    sparse: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.dense.ndim != 2:
+            raise ValueError(f"dense features must be 2-D, got shape {self.dense.shape}")
+        if self.sparse.ndim != 2:
+            raise ValueError(f"sparse features must be 2-D, got shape {self.sparse.shape}")
+        if self.labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {self.labels.shape}")
+        n = self.dense.shape[0]
+        if self.sparse.shape[0] != n or self.labels.shape[0] != n:
+            raise ValueError(
+                "dense, sparse and labels must share the batch dimension: "
+                f"{self.dense.shape[0]}, {self.sparse.shape[0]}, {self.labels.shape[0]}"
+            )
+
+    def __len__(self) -> int:
+        return self.dense.shape[0]
+
+    def take(self, indices: np.ndarray) -> "CTRBatch":
+        """Return a new batch restricted to ``indices``."""
+        return CTRBatch(
+            dense=self.dense[indices],
+            sparse=self.sparse[indices],
+            labels=self.labels[indices],
+        )
+
+
+@dataclass
+class RankingQuery:
+    """A single serving-time query: one user, a pool of candidate items.
+
+    The multi-stage funnel ranks the candidates; ``relevance`` holds the
+    ground-truth graded relevance used for NDCG.  ``dense``/``sparse`` are the
+    model inputs for every (user, candidate) pair, one row per candidate.
+    """
+
+    query_id: int
+    dense: np.ndarray
+    sparse: np.ndarray
+    relevance: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.dense.shape[0]
+        if self.sparse.shape[0] != n or self.relevance.shape[0] != n:
+            raise ValueError(
+                "dense, sparse and relevance must share the candidate dimension"
+            )
+        if n == 0:
+            raise ValueError("a ranking query must contain at least one candidate")
+
+    @property
+    def num_candidates(self) -> int:
+        return self.dense.shape[0]
+
+    def subset(self, indices: np.ndarray) -> "RankingQuery":
+        """Restrict the candidate pool to ``indices`` (used between stages)."""
+        return RankingQuery(
+            query_id=self.query_id,
+            dense=self.dense[indices],
+            sparse=self.sparse[indices],
+            relevance=self.relevance[indices],
+        )
+
+
+@dataclass
+class Dataset:
+    """A CTR dataset plus the metadata models need to configure themselves."""
+
+    name: str
+    train: CTRBatch
+    test: CTRBatch
+    num_dense: int
+    table_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.table_sizes)
+
+
+def train_test_split(
+    batch: CTRBatch,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[CTRBatch, CTRBatch]:
+    """Shuffle and split a batch into train and test partitions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n = len(batch)
+    perm = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx = perm[:n_test]
+    train_idx = perm[n_test:]
+    if train_idx.size == 0:
+        raise ValueError("split produced an empty training set; use a smaller test_fraction")
+    return batch.take(train_idx), batch.take(test_idx)

@@ -1,0 +1,113 @@
+"""Figure 7: RecPipe scheduling of multi-stage pipelines on CPUs.
+
+Three panels for the Criteo deep dive on the Cascade Lake CPU:
+
+* **left** -- single-stage designs: larger models reach higher quality at the
+  cost of higher tail latency;
+* **center** -- at a fixed load (QPS 500), tuning multi-stage parameters
+  (one/two/three stages) improves quality under strict latency targets; the
+  RMsmall->RMlarge frontend beats RMmed->RMlarge despite RMmed's higher
+  accuracy;
+* **right** -- at the highest quality target, the two-stage pipeline reduces
+  tail latency by roughly 4x versus single-stage across loads, while the
+  three-stage design loses some of that benefit to inter-stage overheads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.pipeline import PipelineConfig, Stage
+from repro.experiments.common import (
+    ExperimentResult,
+    criteo_one_stage,
+    criteo_quality_evaluator,
+    criteo_three_stage,
+    criteo_two_stage,
+    criteo_two_stage_med,
+    make_scheduler,
+)
+from repro.models.zoo import criteo_model_specs
+
+
+def run_single_stage(
+    qps: float = 500.0,
+    item_counts: Sequence[int] = (1024, 2048, 4096),
+) -> ExperimentResult:
+    """Figure 7 left: quality vs tail latency for single-stage designs on CPU."""
+    evaluator = criteo_quality_evaluator()
+    scheduler = make_scheduler(evaluator)
+    result = ExperimentResult(name="fig07_left_single_stage_cpu")
+    for spec in criteo_model_specs():
+        for items in item_counts:
+            pipeline = PipelineConfig((Stage(spec, items),))
+            evaluated = scheduler.evaluate(pipeline, "cpu", qps)
+            result.add(
+                model=spec.name,
+                items_ranked=items,
+                quality_ndcg=evaluated.quality,
+                p99_latency_ms=evaluated.p99_latency * 1e3,
+                saturated=evaluated.saturated,
+            )
+    return result
+
+
+def run_multistage(qps: float = 500.0) -> ExperimentResult:
+    """Figure 7 center: one/two/three-stage designs at iso-throughput (QPS 500)."""
+    evaluator = criteo_quality_evaluator()
+    scheduler = make_scheduler(evaluator)
+    configs = {
+        "one-stage": criteo_one_stage(),
+        "two-stage (RMsmall-RMlarge)": criteo_two_stage(),
+        "two-stage (RMmed-RMlarge)": criteo_two_stage_med(),
+        "three-stage": criteo_three_stage(),
+    }
+    result = ExperimentResult(name="fig07_center_multistage_cpu")
+    for label, pipeline in configs.items():
+        evaluated = scheduler.evaluate(pipeline, "cpu", qps)
+        result.add(
+            config=label,
+            pipeline=pipeline.name,
+            quality_ndcg=evaluated.quality,
+            p99_latency_ms=evaluated.p99_latency * 1e3,
+            saturated=evaluated.saturated,
+        )
+    return result
+
+
+def run_iso_quality(qps_values: Sequence[float] = (100, 250, 500, 1000, 2000)) -> ExperimentResult:
+    """Figure 7 right: latency vs throughput at the highest quality target."""
+    evaluator = criteo_quality_evaluator()
+    scheduler = make_scheduler(evaluator)
+    configs = {
+        "one-stage": criteo_one_stage(),
+        "two-stage": criteo_two_stage(),
+        "three-stage": criteo_three_stage(),
+    }
+    result = ExperimentResult(name="fig07_right_iso_quality_cpu")
+    for label, pipeline in configs.items():
+        for qps in qps_values:
+            evaluated = scheduler.evaluate(pipeline, "cpu", qps)
+            result.add(
+                config=label,
+                qps=qps,
+                p99_latency_ms=evaluated.p99_latency * 1e3,
+                saturated=evaluated.saturated,
+            )
+    return result
+
+
+def run() -> ExperimentResult:
+    """All three panels merged (used by the benchmark harness)."""
+    merged = ExperimentResult(name="fig07_cpu_scheduling")
+    for part in (run_single_stage(), run_multistage(), run_iso_quality()):
+        for row in part.rows:
+            merged.add(panel=part.name, **row)
+        merged.notes.extend(part.notes)
+    return merged
+
+
+if __name__ == "__main__":
+    print(run_single_stage().format_table())
+    print(run_multistage().format_table())
+    print(run_iso_quality().format_table())

@@ -1,0 +1,130 @@
+"""Figure 10: RPAccel micro-architecture design-space exploration.
+
+* **(a)** MAC utilization of each Pareto model on systolic arrays from 8x8 to
+  128x128: small models waste most of a monolithic array, which motivates the
+  reconfigurable fission design (monolithic ~30% vs reconfigurable ~60% on a
+  two-stage pipeline).
+* **(b)** the streaming bucketed top-k filtering unit: selection recall
+  against an exact top-k, drain latency, and the weight-SRAM overhead with
+  and without the CTR threshold (12% -> 3%).
+* **(c)** average embedding memory access time (AMAT) as a function of the
+  fraction of the static cache devoted to the frontend model, for different
+  cache sizes and inter-stage filtering ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.accel.embedding_cache import EmbeddingCacheConfig, MultiStageEmbeddingCache
+from repro.accel.systolic import ReconfigurableArray, SubArray, SystolicArrayConfig
+from repro.accel.topk import TopKFilterConfig, TopKFilterUnit
+from repro.experiments.common import ExperimentResult
+from repro.models.zoo import RM_LARGE, RM_SMALL, criteo_model_specs
+
+MB = 1024 * 1024
+
+
+def run_utilization(
+    array_sizes: Sequence[int] = (8, 16, 32, 64, 128),
+) -> ExperimentResult:
+    """Figure 10a: MAC utilization per model per array size."""
+    result = ExperimentResult(name="fig10a_systolic_utilization")
+    for spec in criteo_model_specs():
+        cost = spec.reference_cost()
+        for size in array_sizes:
+            sub = SubArray(rows=size, cols=size)
+            result.add(
+                model=spec.name,
+                array=f"{size}x{size}",
+                utilization=sub.model_utilization(cost),
+            )
+    # Monolithic vs reconfigurable utilization on the two-stage pipeline.
+    array = ReconfigurableArray(SystolicArrayConfig())
+    small, large = RM_SMALL.reference_cost(), RM_LARGE.reference_cost()
+    mono = array.monolithic
+    mono_util = 0.5 * (mono.model_utilization(small) + mono.model_utilization(large))
+    fe = array.split(8, 0.3)[0]
+    be = array.split(8, 0.7)[0]
+    reconfig_util = array.average_utilization([(fe, small), (be, large)])
+    result.note(f"monolithic two-stage utilization {mono_util:.2f} (paper ~0.30)")
+    result.note(f"reconfigurable two-stage utilization {reconfig_util:.2f} (paper ~0.60)")
+    result.add(model="two-stage", array="monolithic", utilization=mono_util)
+    result.add(model="two-stage", array="reconfigurable", utilization=reconfig_util)
+    return result
+
+
+def run_topk(
+    num_scores: int = 4096, k: int = 512, seed: int = 3
+) -> ExperimentResult:
+    """Figure 10b: streaming top-k filter recall, latency and SRAM overhead."""
+    rng = np.random.default_rng(seed)
+    scores = rng.beta(2.0, 2.0, size=num_scores)
+    unit = TopKFilterUnit(TopKFilterConfig())
+    selected = unit.select(scores, k)
+    exact = set(np.argsort(scores)[::-1][:k].tolist())
+    recall = len(exact.intersection(set(selected.tolist()))) / k
+    result = ExperimentResult(name="fig10b_topk_filter")
+    result.add(
+        metric="recall_vs_exact_topk",
+        value=recall,
+    )
+    result.add(metric="selected_count", value=float(len(selected)))
+    result.add(metric="drain_cycles", value=unit.filter_cycles(num_scores, k))
+    result.add(
+        metric="sram_overhead_no_threshold",
+        value=unit.sram_overhead_fraction(num_scores, apply_threshold=False),
+    )
+    result.add(
+        metric="sram_overhead_with_threshold",
+        value=unit.sram_overhead_fraction(num_scores, apply_threshold=True),
+    )
+    result.note("paper: ~12% SRAM overhead without the CTR threshold, ~3% with it")
+    return result
+
+
+def run_cache_partition(
+    fractions: Sequence[float] = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875),
+    cache_configs: Sequence[tuple[int, int]] = ((4 * MB, 8), (12 * MB, 8), (12 * MB, 16)),
+    pool: int = 4096,
+) -> ExperimentResult:
+    """Figure 10c: AMAT vs fraction of the static cache devoted to the frontend."""
+    small, large = RM_SMALL.reference_cost(), RM_LARGE.reference_cost()
+    result = ExperimentResult(name="fig10c_cache_partition")
+    for static_bytes, ratio in cache_configs:
+        cache = MultiStageEmbeddingCache(
+            EmbeddingCacheConfig(total_bytes=static_bytes + 4 * MB, lookahead_bytes=4 * MB)
+        )
+        backend_items = pool // ratio
+        for fraction in fractions:
+            amat = cache.pipeline_amat_cycles(
+                [small, large], [pool, backend_items], frontend_fraction=fraction
+            )
+            result.add(
+                static_cache_mb=static_bytes / MB,
+                filtering_ratio=f"1/{ratio}",
+                frontend_fraction=fraction,
+                amat_cycles=amat,
+            )
+    result.note(
+        "larger caches lower AMAT everywhere; the optimal frontend fraction shifts "
+        "with the inter-stage filtering ratio (paper Figure 10c)"
+    )
+    return result
+
+
+def run() -> ExperimentResult:
+    merged = ExperimentResult(name="fig10_design_space")
+    for part in (run_utilization(), run_topk(), run_cache_partition()):
+        for row in part.rows:
+            merged.add(panel=part.name, **row)
+        merged.notes.extend(part.notes)
+    return merged
+
+
+if __name__ == "__main__":
+    print(run_utilization().format_table())
+    print(run_topk().format_table())
+    print(run_cache_partition().format_table())

@@ -1,0 +1,94 @@
+"""Run every experiment harness and emit a consolidated report.
+
+Usage::
+
+    python -m repro.experiments.runner            # print all regenerated tables
+    python -m repro.experiments.runner --only fig12,fig07
+    python -m repro.experiments.runner --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    fig01_motivation,
+    fig03_quality,
+    fig05_ablation,
+    fig07_cpu,
+    fig08_heterogeneous,
+    fig10_design_space,
+    fig11_area_power,
+    fig12_rpaccel_scale,
+    fig13_future,
+    fig14_summary,
+    tab01_pareto_models,
+)
+from repro.experiments.common import ExperimentResult
+
+#: Registry of experiment id -> run callable, in the order they are reported.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig01": fig01_motivation.run,
+    "tab01": tab01_pareto_models.run,
+    "fig03": fig03_quality.run,
+    "fig05": fig05_ablation.run,
+    "fig07": fig07_cpu.run,
+    "fig08": fig08_heterogeneous.run,
+    "fig10": fig10_design_space.run,
+    "fig11": fig11_area_power.run,
+    "fig12": fig12_rpaccel_scale.run,
+    "fig13": fig13_future.run,
+    "fig14": fig14_summary.run,
+}
+
+
+def run_all(only: list[str] | None = None) -> list[tuple[str, ExperimentResult, float]]:
+    """Run the selected experiments and return (id, result, seconds) tuples."""
+    selected = list(EXPERIMENTS) if not only else only
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment ids {unknown}; available: {sorted(EXPERIMENTS)}")
+    outputs = []
+    for name in selected:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name]()
+        outputs.append((name, result, time.perf_counter() - start))
+    return outputs
+
+
+def format_report(outputs: list[tuple[str, ExperimentResult, float]]) -> str:
+    lines = ["RecPipe reproduction — regenerated tables and figures", ""]
+    for name, result, elapsed in outputs:
+        lines.append(f"[{name}] ({elapsed:.1f} s)")
+        lines.append(result.format_table())
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        type=str,
+        default="",
+        help="comma-separated experiment ids (e.g. fig07,fig12); default: all",
+    )
+    parser.add_argument(
+        "--output", type=str, default="", help="write the report to this file as well"
+    )
+    args = parser.parse_args(argv)
+    only = [name.strip() for name in args.only.split(",") if name.strip()] or None
+    outputs = run_all(only)
+    report = format_report(outputs)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Analytic performance models for commodity hardware.
+
+The paper measures multi-stage recommendation on a server-class Intel Cascade
+Lake CPU and an NVIDIA T4 GPU (Table 2).  Real hardware is not available to
+this reproduction, so this package provides first-order analytic latency
+models calibrated to reproduce the relationships the paper reports:
+
+* CPUs execute one query per core (task parallelism): per-query latency grows
+  with per-item embedding and MLP work, but 64 cores sustain high throughput.
+* GPUs execute one query at a time data-parallel across items: small and
+  large models have comparable latency (launch + embedding-transform
+  overheads dominate), so GPUs provide low latency but saturate at lower
+  throughput.
+* PCIe transfers between host and device add per-stage overheads that the
+  heterogeneous (GPU-CPU) mappings and the baseline accelerator pay.
+
+Every calibration constant is exposed on the model dataclasses and documented
+where it comes from.
+"""
+
+from repro.hardware.spec import (
+    CASCADE_LAKE_CPU,
+    NVIDIA_T4_GPU,
+    HardwareSpec,
+)
+from repro.hardware.memory import DramModel, SramModel
+from repro.hardware.pcie import PCIeModel
+from repro.hardware.cpu import CPUPerformanceModel
+from repro.hardware.gpu import GPUPerformanceModel
+
+__all__ = [
+    "HardwareSpec",
+    "CASCADE_LAKE_CPU",
+    "NVIDIA_T4_GPU",
+    "SramModel",
+    "DramModel",
+    "PCIeModel",
+    "CPUPerformanceModel",
+    "GPUPerformanceModel",
+]

@@ -1,0 +1,161 @@
+"""Embedding tables and embedding-bag collections.
+
+Recommendation models map sparse categorical inputs to dense latent vectors
+through embedding tables.  DLRM uses one table per categorical feature and a
+sum-pooled "embedding bag" lookup.  The tables dominate the model's memory
+footprint and their access pattern (power-law over rows) drives the caching
+behaviour that the hardware models in :mod:`repro.accel` exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.init import normal_init
+from repro.nn.layers import Layer
+
+
+class EmbeddingTable(Layer):
+    """A single embedding table of shape ``(num_rows, dim)``.
+
+    ``forward`` takes integer indices of shape ``(batch,)`` or
+    ``(batch, bag)`` and returns dense vectors.  Multi-index bags are
+    sum-pooled, matching DLRM's EmbeddingBag-with-sum semantics.
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        dim: int,
+        rng: np.random.Generator | None = None,
+        std: float = 0.01,
+    ) -> None:
+        if num_rows <= 0 or dim <= 0:
+            raise ValueError(f"table dimensions must be positive, got {num_rows}x{dim}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weight = normal_init(rng, (num_rows, dim), std=std)
+        self.grad_weight = np.zeros_like(self.weight)
+        self._indices: np.ndarray | None = None
+
+    @property
+    def num_rows(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices)
+        if not np.issubdtype(indices.dtype, np.integer):
+            raise TypeError(f"embedding indices must be integers, got {indices.dtype}")
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_rows):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_rows}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        self._indices = indices
+        if indices.ndim == 1:
+            return self.weight[indices]
+        if indices.ndim == 2:
+            return self.weight[indices].sum(axis=1)
+        raise ValueError(f"indices must be 1-D or 2-D, got shape {indices.shape}")
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._indices is None:
+            raise RuntimeError("backward called before forward")
+        indices = self._indices
+        if indices.ndim == 1:
+            np.add.at(self.grad_weight, indices, grad_out)
+        else:
+            bag = indices.shape[1]
+            flat_idx = indices.reshape(-1)
+            flat_grad = np.repeat(grad_out, bag, axis=0)
+            np.add.at(self.grad_weight, flat_idx, flat_grad)
+        # Embedding inputs are indices, not differentiable values.
+        return np.zeros_like(grad_out)
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weight]
+
+    def num_parameters(self) -> int:
+        return self.weight.size
+
+    def storage_bytes(self, bytes_per_element: int = 4) -> int:
+        """Storage footprint of the table at serving precision (fp32 default)."""
+        return self.weight.size * bytes_per_element
+
+
+class EmbeddingBagCollection(Layer):
+    """A collection of embedding tables, one per categorical feature.
+
+    ``forward`` takes an integer array of shape ``(batch, num_tables)`` holding
+    one index per table and returns the concatenation of the per-table
+    lookups, shape ``(batch, num_tables * dim)``.
+    """
+
+    def __init__(
+        self,
+        table_sizes: Sequence[int],
+        dim: int,
+        rng: np.random.Generator | None = None,
+        std: float = 0.01,
+    ) -> None:
+        if not table_sizes:
+            raise ValueError("at least one embedding table is required")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.tables = [
+            EmbeddingTable(rows, dim, rng=rng, std=std) for rows in table_sizes
+        ]
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    def forward(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices)
+        if indices.ndim != 2 or indices.shape[1] != self.num_tables:
+            raise ValueError(
+                f"expected indices of shape (batch, {self.num_tables}), got {indices.shape}"
+            )
+        outputs = [
+            table.forward(indices[:, t]) for t, table in enumerate(self.tables)
+        ]
+        return np.concatenate(outputs, axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if grad_out.shape[1] != self.num_tables * self.dim:
+            raise ValueError(
+                f"expected gradient width {self.num_tables * self.dim}, got {grad_out.shape[1]}"
+            )
+        for t, table in enumerate(self.tables):
+            table.backward(grad_out[:, t * self.dim : (t + 1) * self.dim])
+        return np.zeros_like(grad_out)
+
+    def parameters(self) -> list[np.ndarray]:
+        params: list[np.ndarray] = []
+        for table in self.tables:
+            params.extend(table.parameters())
+        return params
+
+    def gradients(self) -> list[np.ndarray]:
+        grads: list[np.ndarray] = []
+        for table in self.tables:
+            grads.extend(table.gradients())
+        return grads
+
+    def num_parameters(self) -> int:
+        return sum(table.num_parameters() for table in self.tables)
+
+    def storage_bytes(self, bytes_per_element: int = 4) -> int:
+        return sum(table.storage_bytes(bytes_per_element) for table in self.tables)
+
+    def lookups_per_sample(self) -> int:
+        """Number of embedding-vector fetches one inference sample performs."""
+        return self.num_tables

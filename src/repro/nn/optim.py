@@ -1,0 +1,97 @@
+"""Gradient-descent optimizers operating on (parameter, gradient) pairs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer: holds references to parameters and their gradients."""
+
+    def __init__(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError(
+                f"params and grads must be parallel lists, got {len(params)} vs {len(grads)}"
+            )
+        for p, g in zip(params, grads):
+            if p.shape != g.shape:
+                raise ValueError(f"parameter/gradient shape mismatch: {p.shape} vs {g.shape}")
+        self.params = list(params)
+        self.grads = list(grads)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for g in self.grads:
+            g[...] = 0.0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        grads: Sequence[np.ndarray],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(params, grads)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in self.params]
+
+    def step(self) -> None:
+        for p, g, v in zip(self.params, self.grads, self._velocity):
+            if self.momentum > 0.0:
+                v *= self.momentum
+                v += g
+                p -= self.lr * v
+            else:
+                p -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        grads: Sequence[np.ndarray],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, grads)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in self.params]
+        self._v = [np.zeros_like(p) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.params, self.grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,59 @@
+"""Ranking quality metrics: DCG and NDCG.
+
+Following the paper (Section 2.2), for a served list of ``N`` items
+
+    DCG = sum_i  Rel_i / log2(i + 1)        (positions i = 1..N)
+
+and NDCG is the ratio between the DCG of the measured ordering and the DCG of
+the ideal ordering over the *entire candidate pool*, so that serving fewer or
+less relevant items than the pool contains is penalized.  The paper reports
+NDCG as a percentage (e.g. 92.25); :func:`ndcg_percent` matches that
+convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dcg(relevance_in_rank_order: np.ndarray) -> float:
+    """Discounted cumulative gain of a list already sorted by serving order."""
+    rel = np.asarray(relevance_in_rank_order, dtype=np.float64)
+    if rel.ndim != 1:
+        raise ValueError(f"relevance must be 1-D, got shape {rel.shape}")
+    if rel.size == 0:
+        return 0.0
+    positions = np.arange(1, rel.size + 1, dtype=np.float64)
+    return float(np.sum(rel / np.log2(positions + 1.0)))
+
+
+def ideal_dcg(relevance_pool: np.ndarray, k: int) -> float:
+    """DCG of the best possible top-``k`` list drawn from ``relevance_pool``."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    rel = np.asarray(relevance_pool, dtype=np.float64)
+    if rel.size == 0:
+        return 0.0
+    top = np.sort(rel)[::-1][:k]
+    return dcg(top)
+
+
+def ndcg(served_relevance: np.ndarray, relevance_pool: np.ndarray, k: int) -> float:
+    """NDCG in [0, 1] of serving ``served_relevance`` (in order) from the pool.
+
+    ``served_relevance`` is the ground-truth relevance of the items actually
+    served, in serving order, truncated/padded conceptually to ``k`` items;
+    ``relevance_pool`` is the ground-truth relevance of every candidate the
+    query could have served, which defines the ideal ordering.
+    """
+    served = np.asarray(served_relevance, dtype=np.float64)[:k]
+    ideal = ideal_dcg(relevance_pool, k)
+    if ideal == 0.0:
+        # A pool with no relevant items: any ordering is perfect.
+        return 1.0
+    return dcg(served) / ideal
+
+
+def ndcg_percent(served_relevance: np.ndarray, relevance_pool: np.ndarray, k: int) -> float:
+    """NDCG expressed as a percentage, the unit the paper reports."""
+    return 100.0 * ndcg(served_relevance, relevance_pool, k)

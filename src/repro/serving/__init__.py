@@ -1,0 +1,29 @@
+"""At-scale serving simulation: Poisson arrivals, queueing, tail latency.
+
+The paper evaluates every configuration at scale: tens of thousands of
+queries arrive following a Poisson process at a target QPS, flow through the
+multi-stage pipeline mapped onto its hardware, and the system reports p99
+tail latency and sustained throughput.  This package provides
+
+* :class:`~repro.serving.resources.StageResource` /
+  :class:`~repro.serving.resources.PipelinePlan` -- the platform-agnostic
+  description of a scheduled pipeline,
+* :class:`~repro.serving.simulator.ServingSimulator` -- a discrete-event
+  simulator of queries flowing through the plan's stage queues,
+* :class:`~repro.serving.metrics.LatencyReport` and helpers for percentiles
+  and sustained-throughput search.
+"""
+
+from repro.serving.resources import PipelinePlan, StageResource
+from repro.serving.metrics import LatencyReport, percentile
+from repro.serving.simulator import ServingSimulator, SimulationConfig, sweep_load
+
+__all__ = [
+    "StageResource",
+    "PipelinePlan",
+    "LatencyReport",
+    "percentile",
+    "ServingSimulator",
+    "SimulationConfig",
+    "sweep_load",
+]

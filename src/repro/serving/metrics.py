@@ -1,0 +1,62 @@
+"""Latency / throughput metrics for at-scale simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def percentile(latencies: np.ndarray, q: float) -> float:
+    """The ``q``-th percentile (0..100) of a latency sample."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must lie in [0, 100], got {q}")
+    latencies = np.asarray(latencies, dtype=np.float64)
+    if latencies.size == 0:
+        raise ValueError("cannot compute a percentile of an empty sample")
+    return float(np.percentile(latencies, q))
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Summary of one at-scale simulation run."""
+
+    offered_qps: float
+    achieved_qps: float
+    num_queries: int
+    mean_latency: float
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    max_latency: float
+    saturated: bool
+
+    @classmethod
+    def from_latencies(
+        cls,
+        latencies: np.ndarray,
+        offered_qps: float,
+        makespan_seconds: float,
+        saturated: bool,
+    ) -> "LatencyReport":
+        latencies = np.asarray(latencies, dtype=np.float64)
+        if latencies.size == 0:
+            raise ValueError("cannot build a report from zero completed queries")
+        achieved = latencies.size / makespan_seconds if makespan_seconds > 0 else 0.0
+        return cls(
+            offered_qps=offered_qps,
+            achieved_qps=achieved,
+            num_queries=int(latencies.size),
+            mean_latency=float(latencies.mean()),
+            p50_latency=percentile(latencies, 50),
+            p95_latency=percentile(latencies, 95),
+            p99_latency=percentile(latencies, 99),
+            max_latency=float(latencies.max()),
+            saturated=saturated,
+        )
+
+    def meets_sla(self, sla_seconds: float) -> bool:
+        """Whether p99 latency is within the SLA and the system kept up."""
+        if sla_seconds <= 0:
+            raise ValueError("sla_seconds must be positive")
+        return not self.saturated and self.p99_latency <= sla_seconds

@@ -1,0 +1,98 @@
+"""Execution-resource description of a scheduled multi-stage pipeline.
+
+Every platform mapping (CPU-only, GPU-only, heterogeneous GPU-CPU, baseline
+accelerator, RPAccel) reduces to the same abstraction for the at-scale
+simulator: a sequence of stage resources, each with
+
+* a number of independent servers (CPU cores, a GPU, accelerator sub-arrays),
+* a per-query service time on one server,
+* the fraction of that service time after which the *next* stage may begin
+  (1.0 for ordinary stage-at-a-time execution; ``1 / sub_batches`` for
+  RPAccel's pipelined sub-batch execution, which lets the backend start as
+  soon as the first sub-batch of frontend results is available), and
+* a fixed transfer delay charged before the stage starts (PCIe hops between
+  devices, host round-trips for the baseline accelerator's filtering).
+
+The discrete-event simulator in :mod:`repro.serving.simulator` consumes this
+description directly, so adding a new platform only requires producing a
+:class:`PipelinePlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StageResource:
+    """One pipeline stage as seen by the at-scale simulator."""
+
+    name: str
+    num_servers: int
+    service_seconds: float
+    forward_fraction: float = 1.0
+    transfer_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_servers <= 0:
+            raise ValueError(f"num_servers must be positive, got {self.num_servers}")
+        if self.service_seconds < 0:
+            raise ValueError("service_seconds must be non-negative")
+        if not 0.0 < self.forward_fraction <= 1.0:
+            raise ValueError("forward_fraction must lie in (0, 1]")
+        if self.transfer_seconds < 0:
+            raise ValueError("transfer_seconds must be non-negative")
+
+    @property
+    def throughput_capacity(self) -> float:
+        """Maximum sustainable queries per second through this stage."""
+        if self.service_seconds == 0:
+            return float("inf")
+        return self.num_servers / self.service_seconds
+
+
+@dataclass
+class PipelinePlan:
+    """A scheduled multi-stage pipeline ready for at-scale simulation."""
+
+    platform: str
+    stages: list[StageResource] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a pipeline plan needs at least one stage")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def unloaded_latency(self) -> float:
+        """End-to-end latency of a single query on an idle system.
+
+        Stage ``k+1`` starts ``forward_fraction_k * service_k`` after stage
+        ``k`` starts (plus its transfer delay); the query finishes when every
+        stage's full service has completed (a pipelined downstream stage can
+        finish its last sub-batch only after the upstream stage has produced
+        it, so the end-to-end latency is bounded below by the longest stage).
+        """
+        start = 0.0
+        finish = 0.0
+        for stage in self.stages:
+            start += stage.transfer_seconds
+            finish = max(finish, start + stage.service_seconds)
+            start += stage.forward_fraction * stage.service_seconds
+        return finish
+
+    def throughput_capacity(self) -> float:
+        """Maximum sustainable QPS (bottleneck stage capacity)."""
+        return min(stage.throughput_capacity for stage in self.stages)
+
+    def utilization(self, qps: float) -> float:
+        """Offered utilization of the bottleneck stage at ``qps``."""
+        if qps < 0:
+            raise ValueError("qps must be non-negative")
+        capacity = self.throughput_capacity()
+        if capacity == float("inf"):
+            return 0.0
+        return qps / capacity

@@ -1,0 +1,126 @@
+"""Tests for the baseline accelerator and RPAccel end-to-end models."""
+
+import pytest
+
+from repro.accel import BaselineAccelerator, RPAccel, RPAccelConfig
+from repro.models.zoo import RM_LARGE, RM_MED, RM_SMALL
+
+SMALL = RM_SMALL.reference_cost()
+MED = RM_MED.reference_cost()
+LARGE = RM_LARGE.reference_cost()
+
+
+class TestBaselineAccelerator:
+    @pytest.fixture(scope="class")
+    def accel(self):
+        return BaselineAccelerator()
+
+    def test_single_stage_latency_in_milliseconds(self, accel):
+        latency = accel.query_latency([LARGE], [4096])
+        assert 0.2e-3 < latency < 20e-3
+
+    def test_latency_scales_with_items(self, accel):
+        assert accel.query_latency([LARGE], [4096]) > accel.query_latency([LARGE], [512])
+
+    def test_multistage_pays_host_filtering(self, accel):
+        breakdowns = accel.query_breakdown([SMALL, LARGE], [4096, 512])
+        assert breakdowns[0].filter_seconds > 0.0
+        assert breakdowns[1].filter_seconds == 0.0
+
+    def test_first_stage_pays_pcie(self, accel):
+        breakdowns = accel.query_breakdown([SMALL, LARGE], [4096, 512])
+        assert breakdowns[0].pcie_seconds > 0.0
+        assert breakdowns[1].pcie_seconds == 0.0
+
+    def test_plan_is_single_server(self, accel):
+        plan = accel.plan_query([LARGE], [4096])
+        assert len(plan.stages) == 1
+        assert plan.stages[0].num_servers == 1
+
+    def test_mismatched_inputs_rejected(self, accel):
+        with pytest.raises(ValueError):
+            accel.query_breakdown([LARGE], [4096, 512])
+
+
+class TestRPAccel:
+    @pytest.fixture(scope="class")
+    def rpaccel(self):
+        return RPAccel()
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return BaselineAccelerator()
+
+    def test_two_stage_plan_structure(self, rpaccel):
+        plan = rpaccel.plan_query([SMALL, LARGE], [4096, 512])
+        names = [s.name for s in plan.stages]
+        assert any("sequencer" in n for n in names)
+        assert any("gather" in n for n in names)
+        assert any("stage0" in n for n in names)
+        assert any("stage1" in n for n in names)
+
+    def test_multistage_beats_baseline_latency(self, rpaccel, baseline):
+        """Figure 12: roughly 3x lower latency at iso-quality."""
+        base = baseline.plan_query([LARGE], [4096]).unloaded_latency()
+        rp = rpaccel.plan_query(
+            [SMALL, LARGE], [4096, 512], frontend_cache_fraction=0.5
+        ).unloaded_latency()
+        assert base / rp > 2.0
+
+    def test_multistage_beats_baseline_throughput(self, rpaccel, baseline):
+        """Figure 12: roughly 6x higher throughput at iso-quality."""
+        base = baseline.plan_query([LARGE], [4096]).throughput_capacity()
+        rp = rpaccel.plan_query(
+            [SMALL, LARGE], [4096, 512], frontend_cache_fraction=0.5
+        ).throughput_capacity()
+        assert rp / base > 4.0
+
+    def test_onchip_filter_beats_host_filter(self, rpaccel):
+        with_filter = rpaccel.plan_query(
+            [SMALL, LARGE], [4096, 512], onchip_filter=True
+        ).unloaded_latency()
+        without = rpaccel.plan_query(
+            [SMALL, LARGE], [4096, 512], onchip_filter=False
+        ).unloaded_latency()
+        assert with_filter < without
+
+    def test_pipelining_reduces_latency(self, rpaccel):
+        pipelined = rpaccel.plan_query(
+            [SMALL, LARGE], [4096, 512], pipelined=True
+        ).unloaded_latency()
+        serial = rpaccel.plan_query(
+            [SMALL, LARGE], [4096, 512], pipelined=False
+        ).unloaded_latency()
+        assert pipelined <= serial
+
+    def test_reconfigurable_improves_throughput(self, rpaccel):
+        reconfig = rpaccel.plan_query(
+            [SMALL, LARGE], [4096, 512], reconfigurable=True
+        ).throughput_capacity()
+        mono = rpaccel.plan_query(
+            [SMALL, LARGE], [4096, 512], reconfigurable=False
+        ).throughput_capacity()
+        assert reconfig > mono
+
+    def test_asymmetric_backend_provisioning(self, rpaccel):
+        """Figure 12 bottom: 2 large backend arrays give lower unloaded latency
+        than 16 small ones; 16 give more backend servers."""
+        plan_2 = rpaccel.plan_query([SMALL, LARGE], [4096, 512], subarrays_per_stage=[8, 2])
+        plan_16 = rpaccel.plan_query([SMALL, LARGE], [4096, 512], subarrays_per_stage=[8, 16])
+        assert plan_2.unloaded_latency() < plan_16.unloaded_latency()
+        backend_2 = [s for s in plan_2.stages if "stage1" in s.name][0]
+        backend_16 = [s for s in plan_16.stages if "stage1" in s.name][0]
+        assert backend_16.num_servers > backend_2.num_servers
+
+    def test_default_fractions_sum_to_one(self, rpaccel):
+        fractions = rpaccel.default_fractions([SMALL, MED, LARGE], [4096, 1024, 256])
+        assert sum(fractions) == pytest.approx(1.0)
+        assert all(f >= 0.10 - 1e-9 for f in fractions)
+
+    def test_sub_batches_validation(self):
+        with pytest.raises(ValueError):
+            RPAccelConfig(sub_batches=0)
+
+    def test_stage_count_mismatch_rejected(self, rpaccel):
+        with pytest.raises(ValueError):
+            rpaccel.plan_query([SMALL, LARGE], [4096, 512], subarrays_per_stage=[8])

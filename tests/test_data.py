@@ -1,0 +1,172 @@
+"""Tests for the synthetic datasets and distribution utilities (repro.data)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    CriteoConfig,
+    CriteoSynthetic,
+    CTRBatch,
+    MovieLensConfig,
+    MovieLensSynthetic,
+    train_test_split,
+)
+from repro.data.distributions import (
+    approx_zipf_hit_rate,
+    hit_rate_for_cache,
+    zipf_probabilities,
+    zipf_sample,
+)
+
+
+class TestDistributions:
+    def test_zipf_probabilities_normalized_and_decreasing(self):
+        probs = zipf_probabilities(100, alpha=1.05)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_zipf_sample_range(self):
+        samples = zipf_sample(np.random.default_rng(0), 50, 1000)
+        assert samples.min() >= 0 and samples.max() < 50
+
+    def test_zipf_sample_is_skewed(self):
+        samples = zipf_sample(np.random.default_rng(0), 1000, 20000, alpha=1.2)
+        head_fraction = np.mean(samples < 10)
+        assert head_fraction > 0.2
+
+    def test_hit_rate_monotone_in_cache_size(self):
+        rates = [hit_rate_for_cache(1000, c) for c in (0, 10, 100, 500, 1000)]
+        assert rates[0] == 0.0 and rates[-1] == 1.0
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+    def test_approx_matches_exact_for_small_tables(self):
+        exact = hit_rate_for_cache(5000, 500, alpha=1.05)
+        approx = approx_zipf_hit_rate(5000, 500, alpha=1.05)
+        assert approx == pytest.approx(exact, abs=0.08)
+
+    @given(
+        cached=st.integers(min_value=1, max_value=10**6),
+        total=st.integers(min_value=1, max_value=10**8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_approx_hit_rate_bounded(self, cached, total):
+        rate = approx_zipf_hit_rate(total, cached)
+        assert 0.0 <= rate <= 1.0
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, alpha=0.0)
+
+
+class TestCTRBatch:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            CTRBatch(np.zeros((3, 2)), np.zeros((2, 2), dtype=int), np.zeros(3))
+
+    def test_take_subsets(self):
+        batch = CTRBatch(
+            np.arange(6).reshape(3, 2).astype(float),
+            np.zeros((3, 1), dtype=int),
+            np.array([0.0, 1.0, 0.0]),
+        )
+        sub = batch.take(np.array([2, 0]))
+        assert len(sub) == 2
+        np.testing.assert_allclose(sub.labels, [0.0, 0.0])
+
+    def test_train_test_split_partitions(self):
+        batch = CTRBatch(
+            np.random.default_rng(0).standard_normal((100, 3)),
+            np.zeros((100, 2), dtype=int),
+            np.zeros(100),
+        )
+        train, test = train_test_split(batch, 0.2, np.random.default_rng(1))
+        assert len(train) + len(test) == 100
+        assert len(test) == 20
+
+    def test_split_fraction_validation(self):
+        batch = CTRBatch(np.zeros((10, 1)), np.zeros((10, 1), dtype=int), np.zeros(10))
+        with pytest.raises(ValueError):
+            train_test_split(batch, 1.5, np.random.default_rng(0))
+
+
+class TestCriteoSynthetic:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return CriteoSynthetic(CriteoConfig(table_size=500))
+
+    def test_batch_shapes(self, dataset):
+        batch = dataset.sample_ctr_batch(128)
+        assert batch.dense.shape == (128, 13)
+        assert batch.sparse.shape == (128, 26)
+        assert set(np.unique(batch.labels)).issubset({0.0, 1.0})
+
+    def test_positive_rate_near_target(self, dataset):
+        batch = dataset.sample_ctr_batch(6000, seed=11)
+        rate = batch.labels.mean()
+        assert abs(rate - dataset.config.positive_rate) < 0.08
+
+    def test_ctr_depends_on_features(self, dataset):
+        batch = dataset.sample_ctr_batch(512, seed=5)
+        ctr = dataset.true_ctr(batch.dense, batch.sparse)
+        assert np.all((ctr >= 0) & (ctr <= 1))
+        assert ctr.std() > 0.02
+
+    def test_deterministic_given_seed(self, dataset):
+        a = dataset.sample_ctr_batch(64, seed=3)
+        b = dataset.sample_ctr_batch(64, seed=3)
+        np.testing.assert_allclose(a.dense, b.dense)
+        np.testing.assert_array_equal(a.sparse, b.sparse)
+
+    def test_ranking_queries_structure(self, dataset):
+        queries = dataset.sample_ranking_queries(3, candidates_per_query=256)
+        assert len(queries) == 3
+        for q in queries:
+            assert q.num_candidates == 256
+            assert q.relevance.max() == 4.0
+            assert q.relevance.min() == 0.0
+
+    def test_relevance_is_sparse(self, dataset):
+        (query,) = dataset.sample_ranking_queries(1, candidates_per_query=512)
+        assert np.mean(query.relevance >= 3.0) < 0.12
+
+    def test_build_dataset_metadata(self, dataset):
+        ds = dataset.build_dataset(num_train=400, num_test=100)
+        assert ds.num_tables == 26
+        assert len(ds.train) + len(ds.test) == 500
+
+    def test_query_subset(self, dataset):
+        (query,) = dataset.sample_ranking_queries(1, candidates_per_query=64)
+        sub = query.subset(np.arange(10))
+        assert sub.num_candidates == 10
+
+
+class TestMovieLensSynthetic:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return MovieLensSynthetic(MovieLensConfig(num_users=300, num_items=200))
+
+    def test_batch_structure(self, dataset):
+        batch = dataset.sample_ctr_batch(256)
+        assert batch.sparse.shape == (256, 2)
+        assert batch.sparse[:, 0].max() < 300
+        assert batch.sparse[:, 1].max() < 200
+
+    def test_preference_bounds(self, dataset):
+        users = np.array([0, 1, 2])
+        items = np.array([0, 1, 2])
+        prefs = dataset.true_preference(users, items)
+        assert np.all((prefs >= 0) & (prefs <= 1))
+
+    def test_ranking_queries_unique_items(self, dataset):
+        (query,) = dataset.sample_ranking_queries(1, candidates_per_query=100)
+        items = query.sparse[:, 1]
+        assert len(np.unique(items)) == 100
+
+    def test_candidates_cannot_exceed_catalogue(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.sample_ranking_queries(1, candidates_per_query=10_000)
+
+    def test_presets_differ_in_scale(self):
+        assert MovieLensConfig.ml_20m().num_items > MovieLensConfig.ml_1m().num_items

@@ -1,0 +1,64 @@
+"""Tests for the consolidated experiment runner."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.common import ExperimentResult
+
+
+class TestRunner:
+    def test_registry_covers_every_paper_artifact(self):
+        expected = {
+            "fig01",
+            "tab01",
+            "fig03",
+            "fig05",
+            "fig07",
+            "fig08",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+        }
+        assert set(runner.EXPERIMENTS) == expected
+
+    def test_run_selected_subset(self):
+        outputs = runner.run_all(only=["fig01", "fig11"])
+        assert [name for name, _, _ in outputs] == ["fig01", "fig11"]
+        for _, result, elapsed in outputs:
+            assert isinstance(result, ExperimentResult)
+            assert result.rows
+            assert elapsed >= 0.0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            runner.run_all(only=["fig99"])
+
+    def test_format_report_contains_tables(self):
+        outputs = runner.run_all(only=["fig11"])
+        report = runner.format_report(outputs)
+        assert "fig11" in report
+        assert "TOTAL rpaccel" in report
+
+    def test_cli_writes_output_file(self, tmp_path):
+        path = tmp_path / "report.txt"
+        assert runner.main(["--only", "fig11", "--output", str(path)]) == 0
+        assert "area" in path.read_text()
+
+
+class TestExperimentResultHelpers:
+    def test_column_and_filtered(self):
+        result = ExperimentResult(name="x")
+        result.add(a=1, b="u")
+        result.add(a=2, b="v")
+        assert result.column("a") == [1, 2]
+        assert result.filtered(b="v")[0]["a"] == 2
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in ExperimentResult(name="empty").format_table()
+
+    def test_format_table_handles_inf(self):
+        result = ExperimentResult(name="x")
+        result.add(value=float("inf"))
+        assert "inf" in result.format_table()

@@ -1,0 +1,164 @@
+"""Tests for the at-scale serving simulator (repro.serving)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import (
+    LatencyReport,
+    PipelinePlan,
+    ServingSimulator,
+    SimulationConfig,
+    StageResource,
+    percentile,
+    sweep_load,
+)
+
+
+def single_stage_plan(service=1e-3, servers=4):
+    return PipelinePlan(
+        platform="test",
+        stages=[StageResource(name="s0", num_servers=servers, service_seconds=service)],
+    )
+
+
+def two_stage_plan(s0=1e-3, s1=0.5e-3, forward=1.0):
+    return PipelinePlan(
+        platform="test",
+        stages=[
+            StageResource(name="s0", num_servers=4, service_seconds=s0, forward_fraction=forward),
+            StageResource(name="s1", num_servers=4, service_seconds=s1),
+        ],
+    )
+
+
+class TestResources:
+    def test_stage_capacity(self):
+        stage = StageResource(name="x", num_servers=8, service_seconds=2e-3)
+        assert stage.throughput_capacity == pytest.approx(4000.0)
+
+    def test_plan_requires_stages(self):
+        with pytest.raises(ValueError):
+            PipelinePlan(platform="p", stages=[])
+
+    def test_unloaded_latency_serial(self):
+        plan = two_stage_plan(1e-3, 0.5e-3, forward=1.0)
+        assert plan.unloaded_latency() == pytest.approx(1.5e-3)
+
+    def test_unloaded_latency_pipelined(self):
+        plan = two_stage_plan(1e-3, 0.5e-3, forward=0.25)
+        # The backend starts at 0.25 ms and finishes at 0.75 ms, but the
+        # frontend itself runs until 1.0 ms, which bounds the latency.
+        assert plan.unloaded_latency() == pytest.approx(1e-3)
+
+    def test_transfer_adds_latency(self):
+        plan = PipelinePlan(
+            platform="p",
+            stages=[
+                StageResource(name="a", num_servers=1, service_seconds=1e-3),
+                StageResource(
+                    name="b", num_servers=1, service_seconds=1e-3, transfer_seconds=2e-3
+                ),
+            ],
+        )
+        assert plan.unloaded_latency() == pytest.approx(4e-3)
+
+    def test_bottleneck_capacity(self):
+        plan = two_stage_plan(1e-3, 4e-3)
+        assert plan.throughput_capacity() == pytest.approx(1000.0)
+
+    def test_utilization(self):
+        plan = single_stage_plan(service=1e-3, servers=2)
+        assert plan.utilization(1000) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageResource(name="x", num_servers=0, service_seconds=1e-3)
+        with pytest.raises(ValueError):
+            StageResource(name="x", num_servers=1, service_seconds=1e-3, forward_fraction=0.0)
+
+
+class TestSimulator:
+    def test_low_load_latency_close_to_unloaded(self):
+        plan = single_stage_plan(service=1e-3, servers=8)
+        report = ServingSimulator(plan, SimulationConfig(num_queries=2000, seed=1)).run(100)
+        assert report.p50_latency == pytest.approx(1e-3, rel=0.05)
+        assert report.p99_latency < 2e-3
+
+    def test_latency_grows_with_load(self):
+        plan = single_stage_plan(service=1e-3, servers=4)
+        sim = ServingSimulator(plan, SimulationConfig(num_queries=3000, seed=2))
+        low = sim.run(500).p99_latency
+        high = sim.run(3500).p99_latency
+        assert high > low
+
+    def test_saturation_flagged(self):
+        plan = single_stage_plan(service=1e-3, servers=1)
+        report = ServingSimulator(plan, SimulationConfig(num_queries=1500, seed=0)).run(2000)
+        assert report.saturated
+
+    def test_deterministic_given_seed(self):
+        plan = two_stage_plan()
+        a = ServingSimulator(plan, SimulationConfig(num_queries=1000, seed=5)).run(300)
+        b = ServingSimulator(plan, SimulationConfig(num_queries=1000, seed=5)).run(300)
+        assert a.p99_latency == b.p99_latency
+
+    def test_pipelined_plan_lower_latency_under_load(self):
+        serial = two_stage_plan(2e-3, 2e-3, forward=1.0)
+        pipelined = two_stage_plan(2e-3, 2e-3, forward=0.25)
+        cfg = SimulationConfig(num_queries=2000, seed=3)
+        assert (
+            ServingSimulator(pipelined, cfg).run(500).p99_latency
+            <= ServingSimulator(serial, cfg).run(500).p99_latency
+        )
+
+    def test_more_servers_sustain_more_load(self):
+        few = single_stage_plan(service=2e-3, servers=2)
+        many = single_stage_plan(service=2e-3, servers=16)
+        cfg = SimulationConfig(num_queries=2000, seed=4)
+        qps = 900
+        assert ServingSimulator(many, cfg).run(qps).p99_latency < ServingSimulator(
+            few, cfg
+        ).run(qps).p99_latency or few.utilization(qps) >= 0.98
+
+    def test_invalid_qps(self):
+        with pytest.raises(ValueError):
+            ServingSimulator(single_stage_plan()).run(0)
+
+    def test_max_sustainable_qps_monotone_in_sla(self):
+        plan = single_stage_plan(service=1e-3, servers=4)
+        sim = ServingSimulator(plan, SimulationConfig(num_queries=1500, seed=6))
+        loose = sim.max_sustainable_qps(sla_seconds=50e-3)
+        tight = sim.max_sustainable_qps(sla_seconds=1.2e-3)
+        assert loose >= tight
+
+    def test_sweep_load_returns_one_report_per_point(self):
+        reports = sweep_load(single_stage_plan(), [100, 200, 300])
+        assert len(reports) == 3
+        assert all(isinstance(r, LatencyReport) for r in reports)
+
+
+class TestMetrics:
+    def test_percentile_bounds(self):
+        lat = np.array([1.0, 2.0, 3.0, 4.0])
+        assert percentile(lat, 0) == 1.0
+        assert percentile(lat, 100) == 4.0
+        with pytest.raises(ValueError):
+            percentile(lat, 150)
+        with pytest.raises(ValueError):
+            percentile(np.array([]), 50)
+
+    def test_report_from_latencies(self):
+        report = LatencyReport.from_latencies(
+            np.array([1e-3] * 100), offered_qps=10, makespan_seconds=10.0, saturated=False
+        )
+        assert report.achieved_qps == pytest.approx(10.0)
+        assert report.meets_sla(2e-3)
+        assert not report.meets_sla(0.5e-3)
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=1, max_size=50))
+    @settings(max_examples=25, deadline=None)
+    def test_percentiles_ordered(self, values):
+        lat = np.array(values)
+        assert percentile(lat, 50) <= percentile(lat, 95) <= percentile(lat, 99)
