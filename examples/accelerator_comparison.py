@@ -9,7 +9,7 @@ Run with:  python examples/accelerator_comparison.py
 """
 
 from repro.accel import BaselineAccelerator, RPAccel
-from repro.experiments import fig05_ablation
+from repro.experiments.registry import default_registry
 from repro.experiments.common import (
     criteo_one_stage,
     criteo_three_stage,
@@ -72,7 +72,8 @@ def main() -> None:
         print(f"  RPAccel8,{backend:<3} {plan.unloaded_latency() * 1e3:.3f} ms")
 
     print("\nablation (Figure 5, O.1-O.5):")
-    print(fig05_ablation.run().format_table())
+    print(default_registry().get("fig05").execute().format_table())
+    print("\n(artifact-producing equivalent: recpipe run --tag rpaccel --output-dir out/)")
 
 
 if __name__ == "__main__":

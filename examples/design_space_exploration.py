@@ -1,15 +1,21 @@
 """Design-space exploration: exhaustively sweep multi-stage configurations on
 CPUs and report the quality/latency Pareto frontier at a fixed system load
-(the workflow behind Figure 7).
+(the workflow behind Figure 7), via the same :mod:`repro.core.sweep` engine
+the CLI exposes.
 
 Run with:  python examples/design_space_exploration.py
+
+The equivalent CLI invocation (plus JSON/CSV artifacts) is:
+
+    recpipe sweep --platform cpu --qps 500 --sla-ms 25 \
+        --first-stage-items 2048,4096 --later-stage-items 128,256,512,1024 \
+        --num-queries 1500 --output-dir out/
 """
 
-from repro.core import RecPipeScheduler, enumerate_pipelines
+from repro.core import SweepConfig, run_sweep
 from repro.data import CriteoSynthetic
 from repro.models.zoo import criteo_model_specs
 from repro.quality import QualityEvaluator
-from repro.serving import SimulationConfig
 
 QPS = 500.0
 SLA_MS = 25.0
@@ -18,23 +24,23 @@ SLA_MS = 25.0
 def main() -> None:
     criteo = CriteoSynthetic()
     queries = criteo.sample_ranking_queries(4, candidates_per_query=4096)
-    scheduler = RecPipeScheduler(
-        QualityEvaluator(queries),
-        simulation=SimulationConfig(num_queries=1500, warmup_queries=150),
-    )
 
-    configs = enumerate_pipelines(
-        criteo_model_specs(),
-        first_stage_items=[2048, 4096],
-        later_stage_items=[128, 256, 512, 1024],
+    config = SweepConfig(
+        platform="cpu",
+        qps=(QPS,),
+        sla_ms=SLA_MS,
+        first_stage_items=(2048, 4096),
+        later_stage_items=(128, 256, 512, 1024),
         max_stages=3,
+        num_queries=1500,
     )
-    print(f"enumerated {len(configs)} multi-stage configurations; evaluating on CPU @ {QPS} QPS")
+    print(
+        f"sweeping the multi-stage design space on CPU @ {QPS:.0f} QPS "
+        f"(SLA {SLA_MS:.0f} ms)"
+    )
+    outcome = run_sweep(QualityEvaluator(queries), criteo_model_specs(), config)
 
-    evaluated = scheduler.evaluate_many(configs, "cpu", qps=QPS)
-    frontier = scheduler.quality_latency_frontier(evaluated)
-    frontier.sort(key=lambda e: e.p99_latency)
-
+    frontier = sorted(outcome.frontier[QPS], key=lambda e: e.p99_latency)
     print(f"\nPareto frontier (quality vs p99 latency) at QPS {QPS:.0f}:")
     print(f"{'pipeline':<50} {'NDCG':>7} {'p99 (ms)':>10}")
     for entry in frontier:
@@ -43,20 +49,8 @@ def main() -> None:
             f"{entry.p99_latency * 1e3:>10.2f}"
         )
 
-    best_quality = scheduler.best_quality_under_sla(evaluated, sla_seconds=SLA_MS / 1e3)
-    if best_quality is not None:
-        print(
-            f"\nbest quality under a {SLA_MS:.0f} ms SLA: {best_quality.quality:.2f} NDCG with "
-            f"{best_quality.pipeline.name}"
-        )
-
-    max_quality = max(e.quality for e in evaluated if e.feasible)
-    iso = scheduler.best_at_iso_quality(evaluated, quality_target=max_quality - 0.5)
-    if iso is not None:
-        print(
-            f"fastest configuration within 0.5 NDCG of the maximum: {iso.pipeline.name} "
-            f"({iso.p99_latency * 1e3:.2f} ms p99)"
-        )
+    for line in outcome.summary_lines():
+        print(line)
 
 
 if __name__ == "__main__":

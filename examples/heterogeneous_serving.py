@@ -44,7 +44,7 @@ def main() -> None:
     # Criteo: DLRM-based funnel, 26 embedding tables.
     criteo_scheduler = RecPipeScheduler(
         criteo_quality_evaluator(),
-        simulation=SimulationConfig(num_queries=2000, warmup_queries=200),
+        simulation=SimulationConfig.with_budget(2000),
         num_tables=26,
     )
     criteo_mappings = {
@@ -61,7 +61,7 @@ def main() -> None:
     ml_queries = ml.sample_ranking_queries(4, candidates_per_query=1024)
     ml_scheduler = RecPipeScheduler(
         QualityEvaluator(ml_queries),
-        simulation=SimulationConfig(num_queries=2000, warmup_queries=200),
+        simulation=SimulationConfig.with_budget(2000),
         num_tables=2,
     )
     pipelines = movielens_pipelines(1024)

@@ -53,6 +53,11 @@ def main() -> None:
         f"\nthe two-stage funnel needs {reduction:.1f}x less MLP compute per query "
         "at (roughly) the same quality -- the paper's central motivation."
     )
+    print(
+        "\nnext steps: `recpipe list` shows every paper experiment, "
+        "`recpipe run --only fig01 --output-dir out/` regenerates one with "
+        "JSON/CSV artifacts, and `recpipe sweep` explores your own QPS/SLA targets."
+    )
 
 
 if __name__ == "__main__":

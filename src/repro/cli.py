@@ -1,0 +1,397 @@
+"""The ``recpipe`` command-line interface.
+
+Subcommands::
+
+    recpipe list                      # every registered experiment + metadata
+    recpipe run [--only IDS] [--tag TAGS] [--jobs N] [--seed S] [--output-dir D]
+    recpipe sweep --platform cpu --qps 250,500 --sla-ms 25 [--output-dir D]
+    recpipe report --output-dir D     # re-render the tables of a previous run
+
+``run`` executes registered experiment harnesses (process-parallel with
+``--jobs``); ``sweep`` exposes the :mod:`repro.core.sweep` design-space
+exploration with user-supplied loads and latency targets instead of the
+paper's presets.  With ``--output-dir`` both write per-experiment JSON + CSV
+artifacts and a ``manifest.json`` (config, seed, wall-clock per experiment),
+which ``report`` reads back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.experiments import artifacts
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import (
+    ExperimentRegistry,
+    UnknownExperimentError,
+    UnknownTagError,
+    default_registry,
+)
+
+PROG = "recpipe"
+
+#: Workloads the sweep subcommand can target.
+SWEEP_DATASETS = ("criteo", "movielens-1m", "movielens-20m")
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="RecPipe reproduction: run experiments and design-space sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list registered experiments")
+    list_parser.add_argument(
+        "--tag", default="", help="comma-separated tags to filter by"
+    )
+
+    run_parser = sub.add_parser("run", help="run registered experiments")
+    run_parser.add_argument(
+        "--only", default="", help="comma-separated experiment ids (e.g. fig01,fig07)"
+    )
+    run_parser.add_argument(
+        "--tag", default="", help="comma-separated tags (e.g. accel,criteo)"
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, help="run experiments in N parallel processes"
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="seed forwarded to harnesses that take one"
+    )
+    run_parser.add_argument(
+        "--output-dir", default="", help="write JSON/CSV artifacts and a manifest here"
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the plain-text tables"
+    )
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="design-space sweep with user-supplied targets"
+    )
+    sweep_parser.add_argument(
+        "--dataset", default="criteo", choices=SWEEP_DATASETS, help="workload to sweep"
+    )
+    sweep_parser.add_argument(
+        "--platform",
+        default="cpu",
+        choices=("cpu", "gpu", "gpu-cpu", "baseline-accel", "rpaccel"),
+        help="hardware platform to map configurations onto",
+    )
+    sweep_parser.add_argument(
+        "--qps", default="500", help="comma-separated offered loads, e.g. 250,500,1000"
+    )
+    sweep_parser.add_argument(
+        "--sla-ms", type=float, default=25.0, help="tail-latency SLA in milliseconds"
+    )
+    sweep_parser.add_argument(
+        "--quality-target",
+        type=float,
+        default=None,
+        help="also report the fastest configuration at this NDCG or better",
+    )
+    sweep_parser.add_argument(
+        "--first-stage-items", default="2048,4096", help="candidate pool sizes"
+    )
+    sweep_parser.add_argument(
+        "--later-stage-items", default="128,256,512,1024", help="later-stage item grid"
+    )
+    sweep_parser.add_argument(
+        "--max-stages", type=int, default=3, help="maximum number of funnel stages"
+    )
+    sweep_parser.add_argument(
+        "--serve-k", type=int, default=64, help="items the last stage must serve"
+    )
+    sweep_parser.add_argument(
+        "--num-queries", type=int, default=1500, help="simulated queries per load point"
+    )
+    sweep_parser.add_argument(
+        "--pool",
+        type=int,
+        default=None,
+        help="candidates per ranking query (default: 4096 criteo, 1024 movielens)",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    sweep_parser.add_argument(
+        "--output-dir", default="", help="write JSON/CSV artifacts and a manifest here"
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the plain-text table"
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="re-render the tables of a previous --output-dir run"
+    )
+    report_parser.add_argument(
+        "--output-dir", required=True, help="directory holding manifest.json"
+    )
+
+    return parser
+
+
+def _parse_csv(text: str) -> list[str] | None:
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    return items or None
+
+
+def _parse_floats(text: str, flag: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(item) for item in _parse_csv(text) or ())
+    except ValueError:
+        raise ValueError(f"{flag} expects comma-separated numbers, got {text!r}")
+    if not values:
+        raise ValueError(f"{flag} needs at least one value")
+    return values
+
+
+def _parse_ints(text: str, flag: str) -> tuple[int, ...]:
+    try:
+        values = tuple(int(item) for item in _parse_csv(text) or ())
+    except ValueError:
+        raise ValueError(f"{flag} expects comma-separated integers, got {text!r}")
+    if not values:
+        raise ValueError(f"{flag} needs at least one value")
+    return values
+
+
+# --------------------------------------------------------------------------- #
+# recpipe list
+# --------------------------------------------------------------------------- #
+def cmd_list(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
+    specs = registry.select(tags=_parse_csv(args.tag))
+    id_width = max((len(s.id) for s in specs), default=2)
+    ref_width = max((len(s.paper_ref) for s in specs), default=3)
+    tag_width = max((len(",".join(s.tags)) for s in specs), default=4)
+    print(
+        f"{'id'.ljust(id_width)}  {'ref'.ljust(ref_width)}  "
+        f"{'tags'.ljust(tag_width)}  title"
+    )
+    for spec in specs:
+        print(
+            f"{spec.id.ljust(id_width)}  {spec.paper_ref.ljust(ref_width)}  "
+            f"{','.join(spec.tags).ljust(tag_width)}  {spec.title}"
+        )
+    print(f"\n{len(specs)} experiments; tags: {', '.join(registry.tags())}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# recpipe run
+# --------------------------------------------------------------------------- #
+def _execute_entry(exp_id: str, seed: int | None) -> tuple[str, ExperimentResult, float]:
+    """Top-level worker so ``--jobs`` can dispatch it to other processes."""
+    spec = default_registry().get(exp_id)
+    start = time.perf_counter()
+    result = spec.execute(seed=seed)
+    return exp_id, result, time.perf_counter() - start
+
+
+def run_experiments(
+    registry: ExperimentRegistry,
+    only: list[str] | None = None,
+    tags: list[str] | None = None,
+    jobs: int = 1,
+    seed: int | None = None,
+) -> list[tuple[str, ExperimentResult, float]]:
+    """Run the selected experiments, optionally across ``jobs`` processes."""
+    specs = registry.select(only=only, tags=tags)
+    ids = [spec.id for spec in specs]
+    if jobs <= 1 or len(ids) <= 1:
+        return [_execute_entry(exp_id, seed) for exp_id in ids]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
+        futures = {exp_id: pool.submit(_execute_entry, exp_id, seed) for exp_id in ids}
+        return [futures[exp_id].result() for exp_id in ids]
+
+
+def format_report(outputs: list[tuple[str, ExperimentResult, float]]) -> str:
+    lines = ["RecPipe reproduction — regenerated tables and figures", ""]
+    for name, result, elapsed in outputs:
+        lines.append(f"[{name}] ({elapsed:.1f} s)")
+        lines.append(result.format_table())
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _write_run_artifacts(
+    output_dir: Path,
+    registry: ExperimentRegistry,
+    outputs: list[tuple[str, ExperimentResult, float]],
+    config: dict,
+    seed: int | None,
+) -> Path:
+    entries = []
+    for exp_id, result, elapsed in outputs:
+        meta = registry.get(exp_id).to_dict()
+        entries.append(
+            artifacts.write_experiment_artifacts(
+                output_dir, meta, result, seed=seed, wall_clock_seconds=elapsed
+            )
+        )
+    return artifacts.write_manifest(output_dir, "run", config, entries, seed=seed)
+
+
+def cmd_run(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
+    only = _parse_csv(args.only)
+    tags = _parse_csv(args.tag)
+    outputs = run_experiments(
+        registry, only=only, tags=tags, jobs=args.jobs, seed=args.seed
+    )
+    if not args.quiet:
+        print(format_report(outputs))
+    if args.output_dir:
+        config = {
+            "only": only or [],
+            "tag": tags or [],
+            "jobs": args.jobs,
+            "experiments": [exp_id for exp_id, _, _ in outputs],
+        }
+        manifest = _write_run_artifacts(
+            Path(args.output_dir), registry, outputs, config, args.seed
+        )
+        print(f"wrote {len(outputs)} experiment artifact pairs + {manifest}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# recpipe sweep
+# --------------------------------------------------------------------------- #
+def _sweep_workload(dataset: str, pool: int | None):
+    """(evaluator, model specs, embedding tables, pool) for the sweep workload."""
+    # Imported lazily: the evaluators build synthetic datasets on first use.
+    from repro.experiments.common import (
+        criteo_quality_evaluator,
+        movielens_quality_evaluator,
+    )
+    from repro.models.zoo import criteo_model_specs, movielens_model_specs
+
+    if dataset == "criteo":
+        pool = pool if pool is not None else 4096
+        return criteo_quality_evaluator(pool), criteo_model_specs(), 26, pool
+    # MovieLens catalogues are smaller than Criteo's 4096 default pool.
+    pool = pool if pool is not None else 1024
+    preset = dataset.split("-", 1)[1]
+    # NeuMF funnels use two embedding tables (user, item).
+    return movielens_quality_evaluator(preset, pool), movielens_model_specs(), 2, pool
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.sweep import SweepConfig, run_sweep
+
+    evaluator, specs, num_tables, pool = _sweep_workload(args.dataset, args.pool)
+    config = SweepConfig(
+        platform=args.platform,
+        qps=_parse_floats(args.qps, "--qps"),
+        sla_ms=args.sla_ms,
+        quality_target=args.quality_target,
+        first_stage_items=_parse_ints(args.first_stage_items, "--first-stage-items"),
+        later_stage_items=_parse_ints(args.later_stage_items, "--later-stage-items"),
+        max_stages=args.max_stages,
+        serve_k=args.serve_k,
+        num_queries=args.num_queries,
+        seed=args.seed,
+        num_tables=num_tables,
+    )
+    outcome = run_sweep(evaluator, specs, config)
+
+    result = ExperimentResult(name=f"sweep_{args.dataset}_{args.platform}")
+    for row in outcome.rows():
+        result.add(**row)
+    for line in outcome.summary_lines():
+        result.note(line)
+
+    if not args.quiet:
+        print(result.format_table())
+    if args.output_dir:
+        meta = {
+            "id": "sweep",
+            "title": f"Design-space sweep ({args.dataset} on {args.platform})",
+            "paper_ref": "Figures 7/8/12 methodology",
+            "tags": ["sweep", args.dataset, args.platform],
+            "module": "repro.core.sweep",
+        }
+        cli_config = {
+            "dataset": args.dataset,
+            "platform": args.platform,
+            "qps": list(config.qps),
+            "sla_ms": config.sla_ms,
+            "quality_target": config.quality_target,
+            "first_stage_items": list(config.first_stage_items),
+            "later_stage_items": list(config.later_stage_items),
+            "max_stages": config.max_stages,
+            "serve_k": config.serve_k,
+            "num_tables": config.num_tables,
+            "num_queries": config.num_queries,
+            "pool": pool,
+        }
+        entry = artifacts.write_experiment_artifacts(
+            Path(args.output_dir), meta, result, seed=args.seed
+        )
+        manifest = artifacts.write_manifest(
+            Path(args.output_dir), "sweep", cli_config, [entry], seed=args.seed
+        )
+        print(f"wrote sweep artifacts + {manifest}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# recpipe report
+# --------------------------------------------------------------------------- #
+def cmd_report(args: argparse.Namespace) -> int:
+    output_dir = Path(args.output_dir)
+    manifest = artifacts.load_manifest(output_dir)
+    print(
+        f"RecPipe '{manifest['command']}' artifacts — seed {manifest['seed']}, "
+        f"{len(manifest['experiments'])} experiments"
+    )
+    print("")
+    for entry in manifest["experiments"]:
+        payload = artifacts.load_result_json(output_dir / entry["json"])
+        result = artifacts.payload_to_result(payload)
+        elapsed = entry.get("wall_clock_seconds")
+        timing = f" ({elapsed:.1f} s)" if isinstance(elapsed, float) else ""
+        print(f"[{entry['id']}] {entry.get('paper_ref', '')}{timing}")
+        print(result.format_table())
+        print("")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    registry = default_registry()
+    try:
+        if args.command == "list":
+            return cmd_list(args, registry)
+        if args.command == "run":
+            return cmd_run(args, registry)
+        if args.command == "sweep":
+            return cmd_sweep(args)
+        if args.command == "report":
+            return cmd_report(args)
+    except (UnknownExperimentError, UnknownTagError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"{PROG}: error: {message}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"{PROG}: error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `recpipe report | head`
+        devnull = open(os.devnull, "w")  # keep the fd alive past the flush at exit
+        sys.stdout = devnull
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

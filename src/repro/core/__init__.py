@@ -24,6 +24,7 @@ from repro.core.mapping import (
     build_heterogeneous_plan,
 )
 from repro.core.scheduler import EvaluatedConfig, RecPipeScheduler
+from repro.core.sweep import SweepConfig, SweepOutcome, run_sweep
 
 __all__ = [
     "Stage",
@@ -38,4 +39,7 @@ __all__ = [
     "build_accelerator_plan",
     "RecPipeScheduler",
     "EvaluatedConfig",
+    "SweepConfig",
+    "SweepOutcome",
+    "run_sweep",
 ]

@@ -1,0 +1,180 @@
+"""User-configurable design-space sweeps (behind ``recpipe sweep``).
+
+The paper's figures fix the candidate pools, loads and SLAs to its
+experimental setup; this module exposes the same methodology —
+:func:`~repro.core.pipeline.enumerate_pipelines` x
+:class:`~repro.core.scheduler.RecPipeScheduler` — with every knob
+user-supplied: QPS points, tail-latency SLA, quality target, item ladders,
+stage count and simulation budget.  The outcome carries the raw
+:class:`~repro.core.scheduler.EvaluatedConfig` records plus the paper's three
+cross-sections (Pareto frontier, best-under-SLA, best-at-iso-quality) and
+serializes to plain rows for the CLI's JSON/CSV artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.mapping import HardwarePool
+from repro.core.pipeline import PipelineConfig, enumerate_pipelines
+from repro.core.scheduler import EvaluatedConfig, RecPipeScheduler
+from repro.models.zoo import ModelSpec
+from repro.quality.evaluator import QualityEvaluator
+from repro.serving.simulator import SimulationConfig
+
+PLATFORMS = ("cpu", "gpu", "gpu-cpu", "baseline-accel", "rpaccel")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Everything a design-space sweep needs besides the workload itself."""
+
+    platform: str = "cpu"
+    qps: tuple[float, ...] = (500.0,)
+    sla_ms: float = 25.0
+    quality_target: float | None = None
+    first_stage_items: tuple[int, ...] = (2048, 4096)
+    later_stage_items: tuple[int, ...] = (128, 256, 512, 1024)
+    max_stages: int = 3
+    serve_k: int = 64
+    num_queries: int = 1500
+    seed: int = 0
+    num_tables: int = 26
+
+    def __post_init__(self) -> None:
+        if self.platform not in PLATFORMS:
+            raise ValueError(
+                f"unknown platform {self.platform!r}; expected one of {PLATFORMS}"
+            )
+        if not self.qps or any(q <= 0 for q in self.qps):
+            raise ValueError(f"qps points must be positive, got {self.qps}")
+        if self.sla_ms <= 0:
+            raise ValueError("sla_ms must be positive")
+        if self.max_stages <= 0:
+            raise ValueError("max_stages must be positive")
+
+    @property
+    def sla_seconds(self) -> float:
+        return self.sla_ms / 1e3
+
+
+@dataclass
+class SweepOutcome:
+    """All evaluations of one sweep plus the paper's cross-sections per load."""
+
+    config: SweepConfig
+    pipelines: list[PipelineConfig]
+    evaluated: dict[float, list[EvaluatedConfig]] = field(default_factory=dict)
+    frontier: dict[float, list[EvaluatedConfig]] = field(default_factory=dict)
+    best_under_sla: dict[float, EvaluatedConfig | None] = field(default_factory=dict)
+    best_at_quality: dict[float, EvaluatedConfig | None] = field(default_factory=dict)
+
+    def rows(self) -> list[dict]:
+        """One JSON/CSV-ready row per (pipeline, qps) evaluation."""
+        rows = []
+        for qps in self.config.qps:
+            frontier_names = {e.pipeline.name for e in self.frontier.get(qps, [])}
+            sla_best = self.best_under_sla.get(qps)
+            quality_best = self.best_at_quality.get(qps)
+            for e in self.evaluated.get(qps, []):
+                rows.append(
+                    {
+                        "pipeline": e.pipeline.name,
+                        "num_stages": e.pipeline.num_stages,
+                        "platform": e.platform,
+                        "qps": qps,
+                        "quality_ndcg": e.quality,
+                        "p99_ms": float("inf") if e.saturated else e.p99_latency * 1e3,
+                        "unloaded_ms": e.unloaded_latency * 1e3,
+                        "capacity_qps": e.throughput_capacity,
+                        "saturated": e.saturated,
+                        "meets_sla": e.meets(0.0, self.config.sla_seconds),
+                        "on_frontier": e.pipeline.name in frontier_names,
+                        "best_under_sla": sla_best is not None
+                        and e.pipeline.name == sla_best.pipeline.name,
+                        "best_at_quality_target": quality_best is not None
+                        and e.pipeline.name == quality_best.pipeline.name,
+                    }
+                )
+        return rows
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable per-load summary (printed by the CLI)."""
+        cfg = self.config
+        lines = [
+            f"{len(self.pipelines)} configurations on {cfg.platform} "
+            f"(sla {cfg.sla_ms:.1f} ms, seed {cfg.seed})"
+        ]
+        for qps in cfg.qps:
+            frontier = self.frontier.get(qps, [])
+            lines.append(
+                f"qps {qps:g}: {len(frontier)} Pareto-optimal of "
+                f"{len(self.evaluated.get(qps, []))} evaluated"
+            )
+            best = self.best_under_sla.get(qps)
+            if best is None:
+                lines.append(
+                    f"qps {qps:g}: no configuration meets the "
+                    f"{cfg.sla_ms:.1f} ms SLA"
+                )
+            else:
+                lines.append(
+                    f"qps {qps:g}: best under SLA = {best.pipeline.name} "
+                    f"(ndcg {best.quality:.2f}, p99 {best.p99_latency * 1e3:.2f} ms)"
+                )
+            if cfg.quality_target is not None:
+                best_q = self.best_at_quality.get(qps)
+                if best_q is None:
+                    lines.append(
+                        f"qps {qps:g}: no feasible configuration reaches "
+                        f"quality {cfg.quality_target:.2f}"
+                    )
+                else:
+                    lines.append(
+                        f"qps {qps:g}: fastest at quality>={cfg.quality_target:.2f}"
+                        f" = {best_q.pipeline.name} "
+                        f"(p99 {best_q.p99_latency * 1e3:.2f} ms)"
+                    )
+        return lines
+
+
+def run_sweep(
+    evaluator: QualityEvaluator,
+    model_specs: Sequence[ModelSpec],
+    config: SweepConfig,
+    hardware: HardwarePool | None = None,
+) -> SweepOutcome:
+    """Enumerate, evaluate and cross-section the design space of ``config``."""
+    pipelines = enumerate_pipelines(
+        model_specs,
+        first_stage_items=config.first_stage_items,
+        later_stage_items=config.later_stage_items,
+        max_stages=config.max_stages,
+        serve_k=config.serve_k,
+    )
+    if not pipelines:
+        raise ValueError(
+            "the item ladders admit no pipeline; widen --first-stage-items / "
+            "--later-stage-items or lower --serve-k (items must be at least "
+            f"serve_k={config.serve_k}, ladders strictly decreasing)"
+        )
+    scheduler = RecPipeScheduler(
+        evaluator,
+        hardware=hardware if hardware is not None else HardwarePool(),
+        simulation=SimulationConfig.with_budget(config.num_queries, seed=config.seed),
+        num_tables=config.num_tables,
+    )
+    outcome = SweepOutcome(config=config, pipelines=pipelines)
+    for qps in config.qps:
+        evaluated = scheduler.evaluate_many(pipelines, config.platform, qps)
+        outcome.evaluated[qps] = evaluated
+        outcome.frontier[qps] = scheduler.quality_latency_frontier(evaluated)
+        outcome.best_under_sla[qps] = scheduler.best_quality_under_sla(
+            evaluated, config.sla_seconds
+        )
+        if config.quality_target is not None:
+            outcome.best_at_quality[qps] = scheduler.best_at_iso_quality(
+                evaluated, config.quality_target
+            )
+    return outcome

@@ -3,10 +3,12 @@
 Each module exposes a ``run(...)`` function that returns an
 :class:`~repro.experiments.common.ExperimentResult` (a named collection of
 rows mirroring the paper's table/figure series) and can be executed as a
-script to print the result.  The benchmark suite under ``benchmarks/`` calls
-these ``run`` functions and asserts the paper's qualitative shape (who wins,
-rough factors, crossovers); the measured values are recorded in
-``EXPERIMENTS.md``.
+script to print the result, plus ``TITLE`` / ``PAPER_REF`` / ``TAGS``
+constants that :mod:`repro.experiments.registry` assembles into the
+:class:`~repro.experiments.registry.ExperimentSpec` records behind the
+``recpipe`` CLI.  The benchmark suite under ``benchmarks/`` calls the ``run``
+functions and asserts the paper's qualitative shape (who wins, rough factors,
+crossovers); the measured values are recorded in ``EXPERIMENTS.md``.
 
 Index (see DESIGN.md for the full mapping):
 

@@ -146,7 +146,5 @@ def make_scheduler(
     seed: int = 0,
 ) -> RecPipeScheduler:
     """A scheduler with a simulation budget small enough for CI-speed runs."""
-    simulation = SimulationConfig(
-        num_queries=num_queries, warmup_queries=min(200, num_queries // 10), seed=seed
-    )
+    simulation = SimulationConfig.with_budget(num_queries, seed=seed)
     return RecPipeScheduler(evaluator, simulation=simulation, num_tables=num_tables)

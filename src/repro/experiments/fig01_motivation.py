@@ -15,6 +15,12 @@ from repro.experiments.common import (
 )
 
 
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "Multi-stage vs single-stage demand reduction at iso-quality"
+PAPER_REF = "Figure 1(c)"
+TAGS = ("criteo", "motivation", "pipeline")
+
+
 def run(pool: int = 4096, keep: int = 512) -> ExperimentResult:
     """Compare per-query demands of the one- and two-stage Criteo designs."""
     one = criteo_one_stage(pool)

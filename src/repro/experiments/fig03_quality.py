@@ -13,6 +13,11 @@ from typing import Sequence
 from repro.experiments.common import ExperimentResult, criteo_quality_evaluator
 from repro.models.zoo import criteo_model_specs
 
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "Recommendation quality vs accuracy across the items-ranked axis"
+PAPER_REF = "Figure 3"
+TAGS = ("criteo", "quality", "models")
+
 
 def run(
     item_counts: Sequence[int] = (256, 512, 1024, 2048, 4096),

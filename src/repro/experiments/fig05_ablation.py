@@ -18,6 +18,12 @@ from repro.experiments.common import (
 )
 
 
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "RPAccel optimization ablation (O.1 - O.5)"
+PAPER_REF = "Figure 5 (right)"
+TAGS = ("accel", "rpaccel", "ablation")
+
+
 def run(pool: int = 4096, keep: int = 512) -> ExperimentResult:
     """Unloaded latency and throughput capacity for each ablation step."""
     one = criteo_one_stage(pool)

@@ -29,6 +29,11 @@ from repro.experiments.common import (
 )
 from repro.models.zoo import criteo_model_specs
 
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "RecPipe scheduling of multi-stage pipelines on CPUs"
+PAPER_REF = "Figure 7"
+TAGS = ("criteo", "cpu", "scheduling")
+
 
 def run_single_stage(
     qps: float = 500.0,

@@ -25,6 +25,11 @@ from repro.experiments.common import (
 )
 from repro.models.zoo import RM_LARGE, RM_SMALL
 
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "Mapping multi-stage pipelines onto heterogeneous CPU-GPU systems"
+PAPER_REF = "Figure 8"
+TAGS = ("criteo", "gpu", "heterogeneous", "scheduling")
+
 
 def run_iso_quality(
     qps_values: Sequence[float] = (25, 50, 70, 100, 150, 250, 500, 1000),

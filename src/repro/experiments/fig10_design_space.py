@@ -24,6 +24,11 @@ from repro.accel.topk import TopKFilterConfig, TopKFilterUnit
 from repro.experiments.common import ExperimentResult
 from repro.models.zoo import RM_LARGE, RM_SMALL, criteo_model_specs
 
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "RPAccel micro-architecture design-space exploration"
+PAPER_REF = "Figure 10"
+TAGS = ("accel", "rpaccel", "design-space")
+
 MB = 1024 * 1024
 
 

@@ -11,6 +11,11 @@ from __future__ import annotations
 from repro.accel.area_power import AreaPowerModel
 from repro.experiments.common import ExperimentResult
 
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "Area and power breakdown of RPAccel vs the baseline accelerator"
+PAPER_REF = "Figure 11"
+TAGS = ("accel", "rpaccel", "area-power")
+
 
 def run() -> ExperimentResult:
     model = AreaPowerModel()

@@ -24,6 +24,11 @@ from repro.experiments.common import (
 )
 from repro.serving.simulator import ServingSimulator, SimulationConfig
 
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "At-scale evaluation of RPAccel vs the baseline accelerator"
+PAPER_REF = "Figure 12"
+TAGS = ("accel", "rpaccel", "serving")
+
 
 def _simulate(plan, qps, num_queries=2000, seed=0):
     simulator = ServingSimulator(

@@ -20,6 +20,11 @@ from repro.experiments.common import ExperimentResult
 from repro.models.zoo import RM_LARGE, RM_SMALL
 from repro.serving.resources import PipelinePlan, StageResource
 
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "Projecting RPAccel onto future, SSD-backed recommendation models"
+PAPER_REF = "Figure 13"
+TAGS = ("accel", "rpaccel", "ssd", "scaling")
+
 
 def run_locality(
     scales: Sequence[float] = (1, 2, 4, 8, 16, 32),

@@ -23,6 +23,11 @@ from repro.experiments.common import (
     movielens_quality_evaluator,
 )
 
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "Cross-dataset, cross-load, cross-platform summary at iso-quality"
+PAPER_REF = "Figure 14"
+TAGS = ("criteo", "movielens", "summary", "scheduling")
+
 
 def _criteo_setup() -> tuple[RecPipeScheduler, dict]:
     scheduler = make_scheduler(criteo_quality_evaluator(), num_tables=26)

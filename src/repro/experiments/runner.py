@@ -1,71 +1,42 @@
-"""Run every experiment harness and emit a consolidated report.
+"""Back-compat text runner on top of the experiment registry.
 
-Usage::
+The ``recpipe`` CLI (:mod:`repro.cli`) supersedes this module; it remains so
+existing scripts and the benchmark suite keep working::
 
     python -m repro.experiments.runner            # print all regenerated tables
     python -m repro.experiments.runner --only fig12,fig07
     python -m repro.experiments.runner --output results.txt
+
+New code should use ``recpipe run`` (artifacts, tags, process-parallelism) or
+call :func:`repro.cli.run_experiments` directly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Callable
 
-from repro.experiments import (
-    fig01_motivation,
-    fig03_quality,
-    fig05_ablation,
-    fig07_cpu,
-    fig08_heterogeneous,
-    fig10_design_space,
-    fig11_area_power,
-    fig12_rpaccel_scale,
-    fig13_future,
-    fig14_summary,
-    tab01_pareto_models,
-)
+from repro.cli import _execute_entry, format_report
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import default_registry
 
-#: Registry of experiment id -> run callable, in the order they are reported.
-EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
-    "fig01": fig01_motivation.run,
-    "tab01": tab01_pareto_models.run,
-    "fig03": fig03_quality.run,
-    "fig05": fig05_ablation.run,
-    "fig07": fig07_cpu.run,
-    "fig08": fig08_heterogeneous.run,
-    "fig10": fig10_design_space.run,
-    "fig11": fig11_area_power.run,
-    "fig12": fig12_rpaccel_scale.run,
-    "fig13": fig13_future.run,
-    "fig14": fig14_summary.run,
-}
+#: Registry view of experiment id -> run callable, in reporting order.
+#: Kept for backward compatibility; the source of truth is
+#: :func:`repro.experiments.registry.default_registry`.
+EXPERIMENTS = {spec.id: spec.run for spec in default_registry()}
 
 
 def run_all(only: list[str] | None = None) -> list[tuple[str, ExperimentResult, float]]:
-    """Run the selected experiments and return (id, result, seconds) tuples."""
-    selected = list(EXPERIMENTS) if not only else only
-    unknown = [name for name in selected if name not in EXPERIMENTS]
-    if unknown:
-        raise KeyError(f"unknown experiment ids {unknown}; available: {sorted(EXPERIMENTS)}")
-    outputs = []
-    for name in selected:
-        start = time.perf_counter()
-        result = EXPERIMENTS[name]()
-        outputs.append((name, result, time.perf_counter() - start))
-    return outputs
+    """Run the selected experiments and return (id, result, seconds) tuples.
 
-
-def format_report(outputs: list[tuple[str, ExperimentResult, float]]) -> str:
-    lines = ["RecPipe reproduction — regenerated tables and figures", ""]
-    for name, result, elapsed in outputs:
-        lines.append(f"[{name}] ({elapsed:.1f} s)")
-        lines.append(result.format_table())
-        lines.append("")
-    return "\n".join(lines)
+    Unlike ``recpipe run`` (which reports in registry order), ``only`` ids run
+    in the order given, duplicates included — the historical behavior.
+    """
+    registry = default_registry()
+    ids = list(only) if only else registry.ids()
+    for exp_id in ids:
+        registry.get(exp_id)  # raises UnknownExperimentError (a KeyError)
+    return [_execute_entry(exp_id, None) for exp_id in ids]
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -15,6 +15,11 @@ from repro.experiments.common import ExperimentResult
 from repro.models.training import Trainer
 from repro.models.zoo import build_model, criteo_model_specs
 
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "Pareto-optimal model hyperparameter sweep"
+PAPER_REF = "Table 1 / Figure 2"
+TAGS = ("criteo", "models", "training")
+
 
 def run(
     num_train: int = 6000,

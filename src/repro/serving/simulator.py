@@ -44,6 +44,15 @@ class SimulationConfig:
         if not 0.0 < self.saturation_utilization <= 1.0:
             raise ValueError("saturation_utilization must lie in (0, 1]")
 
+    @classmethod
+    def with_budget(cls, num_queries: int, seed: int = 0) -> "SimulationConfig":
+        """A config whose warmup scales with the query budget (CI-friendly)."""
+        return cls(
+            num_queries=num_queries,
+            warmup_queries=min(200, num_queries // 10),
+            seed=seed,
+        )
+
 
 @dataclass
 class ServingSimulator:

@@ -1,0 +1,253 @@
+"""Tests for the ``recpipe`` CLI and its structured artifacts."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.experiments import artifacts
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import default_registry
+
+
+def _strip_wall_clock(payload: dict) -> dict:
+    return {k: v for k, v in payload.items() if k != "wall_clock_seconds"}
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in default_registry().ids():
+            assert exp_id in out
+        assert "Figure 1(c)" in out
+
+    def test_list_filtered_by_tag(self, capsys):
+        assert cli.main(["list", "--tag", "area-power"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert "fig01" not in out
+
+
+class TestRunErrors:
+    def test_unknown_id_is_an_error(self, capsys):
+        assert cli.main(["run", "--only", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+
+    def test_unknown_tag_is_an_error(self, capsys):
+        assert cli.main(["run", "--tag", "not-a-tag"]) == 2
+        err = capsys.readouterr().err
+        assert "not-a-tag" in err
+
+    def test_report_on_missing_dir_is_an_error(self, tmp_path, capsys):
+        assert cli.main(["report", "--output-dir", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_only_selection_and_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        code = cli.main(
+            ["run", "--only", "fig01,fig11", "--output-dir", str(out_dir), "--quiet"]
+        )
+        assert code == 0
+        for name in ("fig01.json", "fig01.csv", "fig11.json", "fig11.csv"):
+            assert (out_dir / name).exists()
+        manifest = artifacts.load_manifest(out_dir)
+        assert [e["id"] for e in manifest["experiments"]] == ["fig01", "fig11"]
+        assert manifest["command"] == "run"
+        assert manifest["config"]["only"] == ["fig01", "fig11"]
+
+    def test_parallel_jobs_match_serial_results(self):
+        registry = default_registry()
+        serial = cli.run_experiments(registry, only=["fig01", "fig11"], jobs=1)
+        parallel = cli.run_experiments(registry, only=["fig01", "fig11"], jobs=2)
+        assert [exp_id for exp_id, _, _ in parallel] == ["fig01", "fig11"]
+        for (_, left, _), (_, right, _) in zip(serial, parallel):
+            assert left.rows == right.rows
+            assert left.notes == right.notes
+
+    def test_json_artifact_round_trips(self, tmp_path):
+        out_dir = tmp_path / "out"
+        assert (
+            cli.main(["run", "--only", "fig01", "--output-dir", str(out_dir), "--quiet"])
+            == 0
+        )
+        payload = artifacts.load_result_json(out_dir / "fig01.json")
+        rebuilt = artifacts.payload_to_result(payload)
+        original = default_registry().get("fig01").execute()
+        assert rebuilt.name == original.name
+        assert rebuilt.notes == original.notes
+        assert len(rebuilt.rows) == len(original.rows)
+        for got, expected in zip(rebuilt.rows, original.rows):
+            assert set(got) == set(expected)
+            for key in expected:
+                if isinstance(expected[key], float):
+                    assert got[key] == pytest.approx(expected[key])
+                else:
+                    assert got[key] == expected[key]
+
+    def test_csv_artifact_round_trips(self, tmp_path):
+        result = ExperimentResult(name="x")
+        result.add(a=1, b=0.5, c="text")
+        result.add(a=2, b=float("inf"), c="more")
+        path = tmp_path / "x.csv"
+        artifacts.write_result_csv(path, result)
+        rows = artifacts.read_csv_rows(path)
+        assert rows == [
+            {"a": "1", "b": "0.5", "c": "text"},
+            {"a": "2", "b": "inf", "c": "more"},
+        ]
+
+    def test_manifest_deterministic_under_fixed_seed(self, tmp_path, capsys):
+        dirs = [tmp_path / "run1", tmp_path / "run2"]
+        for out_dir in dirs:
+            code = cli.main(
+                [
+                    "run",
+                    "--only",
+                    "fig01,fig11",
+                    "--seed",
+                    "7",
+                    "--output-dir",
+                    str(out_dir),
+                    "--quiet",
+                ]
+            )
+            assert code == 0
+        manifests = [artifacts.load_manifest(d) for d in dirs]
+        assert manifests[0]["seed"] == 7
+        assert artifacts.strip_timing(manifests[0]) == artifacts.strip_timing(
+            manifests[1]
+        )
+        for name in ("fig01.json", "fig11.json"):
+            payloads = [artifacts.load_result_json(d / name) for d in dirs]
+            assert _strip_wall_clock(payloads[0]) == _strip_wall_clock(payloads[1])
+        assert (dirs[0] / "fig01.csv").read_text() == (dirs[1] / "fig01.csv").read_text()
+
+    def test_report_renders_previous_run(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        cli.main(["run", "--only", "fig11", "--output-dir", str(out_dir), "--quiet"])
+        capsys.readouterr()
+        assert cli.main(["report", "--output-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "[fig11]" in out
+        assert "TOTAL rpaccel" in out
+
+
+class TestSweep:
+    SWEEP_ARGS = [
+        "sweep",
+        "--platform",
+        "rpaccel",
+        "--qps",
+        "100",
+        "--sla-ms",
+        "25",
+        "--quality-target",
+        "90",
+        "--first-stage-items",
+        "512",
+        "--later-stage-items",
+        "128",
+        "--max-stages",
+        "2",
+        "--num-queries",
+        "300",
+        "--pool",
+        "512",
+    ]
+
+    def test_sweep_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "sweep"
+        code = cli.main(self.SWEEP_ARGS + ["--output-dir", str(out_dir), "--quiet"])
+        assert code == 0
+        manifest = artifacts.load_manifest(out_dir)
+        assert manifest["command"] == "sweep"
+        assert manifest["config"]["platform"] == "rpaccel"
+        payload = artifacts.load_result_json(out_dir / "sweep.json")
+        assert payload["rows"]
+        row = payload["rows"][0]
+        for key in ("pipeline", "qps", "quality_ndcg", "p99_ms", "on_frontier"):
+            assert key in row
+        csv_rows = artifacts.read_csv_rows(out_dir / "sweep.csv")
+        assert len(csv_rows) == len(payload["rows"])
+
+    def test_sweep_rejects_bad_qps(self, capsys):
+        assert cli.main(["sweep", "--qps", "abc"]) == 2
+        assert "--qps" in capsys.readouterr().err
+
+    def test_sweep_rejects_fractional_item_grid(self, capsys):
+        assert cli.main(["sweep", "--first-stage-items", "2048.9,4096"]) == 2
+        assert "--first-stage-items" in capsys.readouterr().err
+
+    def test_sweep_serve_k_is_a_flag(self, tmp_path, capsys):
+        code = cli.main(
+            self.SWEEP_ARGS + ["--serve-k", "32", "--output-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert artifacts.load_manifest(tmp_path)["config"]["serve_k"] == 32
+
+    def test_sweep_uses_dataset_embedding_tables(self):
+        _, _, criteo_tables, _ = cli._sweep_workload("criteo", 256)
+        _, _, ml_tables, _ = cli._sweep_workload("movielens-1m", 256)
+        assert criteo_tables == 26
+        assert ml_tables == 2
+
+    def test_sweep_default_pool_fits_movielens_catalogue(self):
+        # MovieLens-1M's catalogue is smaller than Criteo's 4096 default.
+        evaluator, _, _, pool = cli._sweep_workload("movielens-1m", None)
+        assert pool == 1024
+        assert evaluator.queries
+        _, _, _, criteo_pool = cli._sweep_workload("criteo", None)
+        assert criteo_pool == 4096
+
+    def test_saturated_rows_serialize_as_strict_json(self, tmp_path):
+        result = ExperimentResult(name="sat")
+        result.add(pipeline="x", p99_ms=float("inf"), qps=1e9)
+        path = tmp_path / "sat.json"
+        artifacts.write_result_json(path, artifacts.result_payload({"id": "sat"}, result))
+        text = path.read_text()
+        assert "Infinity" not in text
+        assert json.loads(text)["rows"][0]["p99_ms"] is None
+
+    def test_sweep_rejects_empty_design_space(self, capsys):
+        code = cli.main(
+            ["sweep", "--first-stage-items", "8", "--later-stage-items", "8"]
+        )
+        assert code == 2
+        assert "no pipeline" in capsys.readouterr().err
+
+
+class TestMainModule:
+    def test_python_m_repro_entry_point(self):
+        import repro.__main__  # noqa: F401  (imports without executing main)
+
+    def test_console_script_target(self):
+        # pyproject.toml points the `recpipe` script at repro.cli:main.
+        assert callable(cli.main)
+
+
+class TestArtifactHelpers:
+    def test_numpy_values_serialize(self, tmp_path):
+        import numpy as np
+
+        result = ExperimentResult(name="np")
+        result.add(i=np.int64(3), f=np.float64(0.25), a=np.arange(2))
+        payload = artifacts.result_payload({"id": "np"}, result)
+        path = tmp_path / "np.json"
+        artifacts.write_result_json(path, payload)
+        loaded = json.loads(path.read_text())
+        assert loaded["rows"][0] == {"i": 3, "f": 0.25, "a": [0, 1]}
+
+    def test_strip_timing_drops_only_wall_clock(self):
+        manifest = {
+            "command": "run",
+            "seed": 1,
+            "config": {},
+            "experiments": [{"id": "fig01", "wall_clock_seconds": 1.5, "json": "x"}],
+        }
+        stripped = artifacts.strip_timing(manifest)
+        assert stripped["experiments"] == [{"id": "fig01", "json": "x"}]
+        assert manifest["experiments"][0]["wall_clock_seconds"] == 1.5

@@ -35,6 +35,10 @@ class TestRunner:
         with pytest.raises(KeyError):
             runner.run_all(only=["fig99"])
 
+    def test_run_all_preserves_requested_order(self):
+        outputs = runner.run_all(only=["fig11", "fig01"])
+        assert [name for name, _, _ in outputs] == ["fig11", "fig01"]
+
     def test_format_report_contains_tables(self):
         outputs = runner.run_all(only=["fig11"])
         report = runner.format_report(outputs)
