@@ -6,9 +6,7 @@ from repro.experiments import fig07_cpu
 
 
 def test_fig07_single_stage(benchmark):
-    result = benchmark.pedantic(
-        fig07_cpu.run_single_stage, rounds=1, iterations=1, warmup_rounds=0
-    )
+    result = benchmark.pedantic(fig07_cpu.run_single_stage, rounds=1, iterations=1, warmup_rounds=0)
     report(result)
     # Larger single-stage models achieve higher quality at higher latency.
     at_4096 = {r["model"]: r for r in result.filtered(items_ranked=4096)}
@@ -17,9 +15,7 @@ def test_fig07_single_stage(benchmark):
 
 
 def test_fig07_multistage(benchmark):
-    result = benchmark.pedantic(
-        fig07_cpu.run_multistage, rounds=1, iterations=1, warmup_rounds=0
-    )
+    result = benchmark.pedantic(fig07_cpu.run_multistage, rounds=1, iterations=1, warmup_rounds=0)
     report(result)
     rows = {r["config"]: r for r in result.rows}
     one = rows["one-stage"]
@@ -33,9 +29,7 @@ def test_fig07_multistage(benchmark):
 
 
 def test_fig07_iso_quality(benchmark):
-    result = benchmark.pedantic(
-        fig07_cpu.run_iso_quality, rounds=1, iterations=1, warmup_rounds=0
-    )
+    result = benchmark.pedantic(fig07_cpu.run_iso_quality, rounds=1, iterations=1, warmup_rounds=0)
     report(result)
     at_500 = {r["config"]: r for r in result.filtered(qps=500)}
     assert at_500["two-stage"]["p99_latency_ms"] < at_500["one-stage"]["p99_latency_ms"]

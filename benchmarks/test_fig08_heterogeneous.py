@@ -12,10 +12,7 @@ def test_fig08_iso_quality(benchmark):
     report(result)
     low_load = {r["config"]: r for r in result.filtered(qps=50)}
     # At low load the GPU single-stage design has the lowest latency.
-    assert (
-        low_load["gpu 1-stage"]["p99_latency_ms"]
-        < low_load["cpu 2-stage"]["p99_latency_ms"]
-    )
+    assert (low_load["gpu 1-stage"]["p99_latency_ms"] < low_load["cpu 2-stage"]["p99_latency_ms"])
     # At high load only the CPU design keeps up (GPU designs saturate).
     high_load = {r["config"]: r for r in result.filtered(qps=1000)}
     assert not high_load["cpu 2-stage"]["saturated"]

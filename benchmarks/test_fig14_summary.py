@@ -8,9 +8,7 @@ from repro.experiments import fig14_summary
 
 
 def test_fig14_summary(benchmark):
-    result = benchmark.pedantic(
-        fig14_summary.run, rounds=1, iterations=1, warmup_rounds=0
-    )
+    result = benchmark.pedantic(fig14_summary.run, rounds=1, iterations=1, warmup_rounds=0)
     report(result)
 
     def best_latency(dataset, qps, platform):

@@ -1,0 +1,29 @@
+"""Benchmark: Figures 8-10 -- cross-platform sweep on one combined frontier."""
+
+from conftest import report
+
+from repro.experiments import sweep_multiplatform
+
+
+def test_sweep_multiplatform_combined_frontier(benchmark):
+    result = benchmark.pedantic(sweep_multiplatform.run, rounds=1, iterations=1, warmup_rounds=0)
+    report(result)
+    platforms = {r["platform"] for r in result.rows}
+    assert platforms == set(sweep_multiplatform.PLATFORMS)
+    # Quality is platform- and load-independent: each pipeline reports one
+    # NDCG across every (platform, qps) cell.
+    by_pipeline = {}
+    for row in result.rows:
+        by_pipeline.setdefault(row["pipeline"], set()).add(row["quality_ndcg"])
+    assert all(len(values) == 1 for values in by_pipeline.values())
+    # RPAccel rows that avoid saturation beat the CPU baseline (paper: the
+    # accelerator dominates general-purpose hardware at iso-quality).
+    speedups = [
+        r["speedup_vs_baseline"]
+        for r in result.rows
+        if r["platform"] == "rpaccel" and r["speedup_vs_baseline"] is not None
+    ]
+    assert speedups and all(s > 1.0 for s in speedups)
+    # The combined frontier is reported for every load point.
+    frontier_notes = [n for n in result.notes if "combined frontier" in n]
+    assert len(frontier_notes) >= len(sweep_multiplatform.QPS_POINTS)

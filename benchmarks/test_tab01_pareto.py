@@ -6,9 +6,7 @@ from repro.experiments import tab01_pareto_models
 
 
 def test_tab01_pareto_models(benchmark):
-    result = benchmark.pedantic(
-        tab01_pareto_models.run, rounds=1, iterations=1, warmup_rounds=0
-    )
+    result = benchmark.pedantic(tab01_pareto_models.run, rounds=1, iterations=1, warmup_rounds=0)
     report(result)
     rows = {row["model"]: row for row in result.rows}
     assert set(rows) == {"RMsmall", "RMmed", "RMlarge"}

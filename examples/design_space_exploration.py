@@ -1,13 +1,14 @@
-"""Design-space exploration: exhaustively sweep multi-stage configurations on
-CPUs and report the quality/latency Pareto frontier at a fixed system load
-(the workflow behind Figure 7), via the same :mod:`repro.core.sweep` engine
-the CLI exposes.
+"""Design-space exploration: exhaustively sweep multi-stage configurations
+across several hardware platforms in one run and report the combined
+quality/latency Pareto frontier at a fixed system load (the workflow behind
+Figures 7-10), via the same :mod:`repro.core.sweep` engine the CLI exposes.
 
 Run with:  python examples/design_space_exploration.py
 
-The equivalent CLI invocation (plus JSON/CSV artifacts) is:
+The equivalent CLI invocation (plus JSON/CSV artifacts, including the
+combined cross-platform frontier artifact ``sweep_frontier.json``) is:
 
-    recpipe sweep --platform cpu --qps 500 --sla-ms 25 \
+    recpipe sweep --platform cpu,gpu-cpu,rpaccel --qps 500 --sla-ms 25 \
         --first-stage-items 2048,4096 --later-stage-items 128,256,512,1024 \
         --num-queries 1500 --output-dir out/
 """
@@ -17,6 +18,7 @@ from repro.data import CriteoSynthetic
 from repro.models.zoo import criteo_model_specs
 from repro.quality import QualityEvaluator
 
+PLATFORMS = ("cpu", "gpu-cpu", "rpaccel")  # cpu first: the speedup baseline
 QPS = 500.0
 SLA_MS = 25.0
 
@@ -26,7 +28,7 @@ def main() -> None:
     queries = criteo.sample_ranking_queries(4, candidates_per_query=4096)
 
     config = SweepConfig(
-        platform="cpu",
+        platforms=PLATFORMS,
         qps=(QPS,),
         sla_ms=SLA_MS,
         first_stage_items=(2048, 4096),
@@ -35,18 +37,22 @@ def main() -> None:
         num_queries=1500,
     )
     print(
-        f"sweeping the multi-stage design space on CPU @ {QPS:.0f} QPS "
-        f"(SLA {SLA_MS:.0f} ms)"
+        f"sweeping the multi-stage design space on {', '.join(PLATFORMS)} "
+        f"@ {QPS:.0f} QPS (SLA {SLA_MS:.0f} ms); quality is evaluated once "
+        f"per pipeline and shared across platforms"
     )
     outcome = run_sweep(QualityEvaluator(queries), criteo_model_specs(), config)
 
-    frontier = sorted(outcome.frontier[QPS], key=lambda e: e.p99_latency)
-    print(f"\nPareto frontier (quality vs p99 latency) at QPS {QPS:.0f}:")
-    print(f"{'pipeline':<50} {'NDCG':>7} {'p99 (ms)':>10}")
+    frontier = sorted(outcome.combined_frontier[QPS], key=lambda e: e.p99_latency)
+    print(f"\ncombined cross-platform frontier at QPS {QPS:.0f}:")
+    print(f"{'platform':<10} {'pipeline':<50} {'NDCG':>7} {'p99 (ms)':>10} {'vs cpu':>8}")
     for entry in frontier:
+        speedup = outcome.speedup_vs_baseline(entry)
+        speedup_text = f"{speedup:.2f}x" if speedup is not None else "-"
         print(
-            f"{entry.pipeline.name:<50} {entry.quality:>7.2f} "
-            f"{entry.p99_latency * 1e3:>10.2f}"
+            f"{entry.platform:<10} {entry.pipeline.name:<50} "
+            f"{entry.quality:>7.2f} {entry.p99_latency * 1e3:>10.2f} "
+            f"{speedup_text:>8}"
         )
 
     for line in outcome.summary_lines():

@@ -90,12 +90,8 @@ class AreaPowerModel:
         base = self.baseline_breakdown()
         area = dict(base.components_area_mm2)
         power = dict(base.components_power_w)
-        area["reconfigurable_interconnect"] = (
-            area["systolic_array"] * RECONFIG_AREA_MULT
-        )
-        power["reconfigurable_interconnect"] = (
-            power["systolic_array"] * RECONFIG_POWER_MULT
-        )
+        area["reconfigurable_interconnect"] = (area["systolic_array"] * RECONFIG_AREA_MULT)
+        power["reconfigurable_interconnect"] = (power["systolic_array"] * RECONFIG_POWER_MULT)
         area["topk_filter_units"] = self.num_topk_units * TOPK_AREA_PER_UNIT_MM2
         power["topk_filter_units"] = self.num_topk_units * TOPK_POWER_PER_UNIT_W
         area["banked_activation_sram"] = (

@@ -72,9 +72,7 @@ class BaselineAccelerator:
     def __init__(self, config: BaselineConfig | None = None) -> None:
         self.config = config if config is not None else BaselineConfig()
         self._array = ReconfigurableArray(self.config.array).monolithic
-        self._cache = MultiStageEmbeddingCache(
-            config=self.config.cache, dram=self.config.dram
-        )
+        self._cache = MultiStageEmbeddingCache(config=self.config.cache, dram=self.config.dram)
 
     @property
     def name(self) -> str:

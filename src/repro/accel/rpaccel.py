@@ -78,9 +78,7 @@ class RPAccel:
     def __init__(self, config: RPAccelConfig | None = None) -> None:
         self.config = config if config is not None else RPAccelConfig()
         self.array = ReconfigurableArray(self.config.array)
-        self.cache = MultiStageEmbeddingCache(
-            config=self.config.cache, dram=self.config.dram
-        )
+        self.cache = MultiStageEmbeddingCache(config=self.config.cache, dram=self.config.dram)
         self.topk = TopKFilterUnit(self.config.topk)
 
     @property
@@ -159,9 +157,7 @@ class RPAccel:
                 cycles = self.topk.filter_cycles(num_items, next_stage_items)
                 filter_s = cycles / cfg.array.frequency_hz
             else:
-                filter_s += cfg.pcie.transfer_seconds(
-                    cfg.pcie.score_payload_bytes(num_items)
-                )
+                filter_s += cfg.pcie.transfer_seconds(cfg.pcie.score_payload_bytes(num_items))
                 filter_s += num_items * 25e-9
                 filter_s += cfg.pcie.transfer_seconds(4 * next_stage_items)
         breakdown = StageBreakdown(
@@ -172,9 +168,7 @@ class RPAccel:
             pcie_seconds=pcie,
             overhead_seconds=cfg.per_stage_overhead_s,
         )
-        return StageExecution(
-            breakdown=breakdown, num_subarrays=num_subarrays, subarray=subarray
-        )
+        return StageExecution(breakdown=breakdown, num_subarrays=num_subarrays, subarray=subarray)
 
     def query_executions(
         self,
@@ -278,9 +272,7 @@ class RPAccel:
         ]
         if not reconfigurable:
             # Monolithic execution: one engine serializes every stage.
-            total = sum(
-                e.service_seconds - e.breakdown.pcie_seconds for e in executions
-            )
+            total = sum(e.service_seconds - e.breakdown.pcie_seconds for e in executions)
             stages.append(
                 StageResource(
                     name=f"{self.name}:monolithic",

@@ -50,17 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     list_parser = sub.add_parser("list", help="list registered experiments")
-    list_parser.add_argument(
-        "--tag", default="", help="comma-separated tags to filter by"
-    )
+    list_parser.add_argument("--tag", default="", help="comma-separated tags to filter by")
 
     run_parser = sub.add_parser("run", help="run registered experiments")
     run_parser.add_argument(
         "--only", default="", help="comma-separated experiment ids (e.g. fig01,fig07)"
     )
-    run_parser.add_argument(
-        "--tag", default="", help="comma-separated tags (e.g. accel,criteo)"
-    )
+    run_parser.add_argument("--tag", default="", help="comma-separated tags (e.g. accel,criteo)")
     run_parser.add_argument(
         "--jobs", type=int, default=1, help="run experiments in N parallel processes"
     )
@@ -70,21 +66,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--output-dir", default="", help="write JSON/CSV artifacts and a manifest here"
     )
-    run_parser.add_argument(
-        "--quiet", action="store_true", help="suppress the plain-text tables"
-    )
+    run_parser.add_argument("--quiet", action="store_true", help="suppress the plain-text tables")
 
-    sweep_parser = sub.add_parser(
-        "sweep", help="design-space sweep with user-supplied targets"
-    )
+    sweep_parser = sub.add_parser("sweep", help="design-space sweep with user-supplied targets")
     sweep_parser.add_argument(
         "--dataset", default="criteo", choices=SWEEP_DATASETS, help="workload to sweep"
     )
     sweep_parser.add_argument(
         "--platform",
         default="cpu",
-        choices=("cpu", "gpu", "gpu-cpu", "baseline-accel", "rpaccel"),
-        help="hardware platform to map configurations onto",
+        help=(
+            "comma-separated hardware platforms to compare in one sweep "
+            "(cpu, gpu, gpu-cpu, baseline-accel, rpaccel), or 'all'; the "
+            "first platform is the speedup baseline"
+        ),
     )
     sweep_parser.add_argument(
         "--qps", default="500", help="comma-separated offered loads, e.g. 250,500,1000"
@@ -119,13 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="candidates per ranking query (default: 4096 criteo, 1024 movielens)",
     )
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="evaluate (platform, qps) cells in N parallel processes",
+    )
     sweep_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     sweep_parser.add_argument(
         "--output-dir", default="", help="write JSON/CSV artifacts and a manifest here"
     )
-    sweep_parser.add_argument(
-        "--quiet", action="store_true", help="suppress the plain-text table"
-    )
+    sweep_parser.add_argument("--quiet", action="store_true", help="suppress the plain-text table")
 
     report_parser = sub.add_parser(
         "report", help="re-render the tables of a previous --output-dir run"
@@ -170,10 +169,7 @@ def cmd_list(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
     id_width = max((len(s.id) for s in specs), default=2)
     ref_width = max((len(s.paper_ref) for s in specs), default=3)
     tag_width = max((len(",".join(s.tags)) for s in specs), default=4)
-    print(
-        f"{'id'.ljust(id_width)}  {'ref'.ljust(ref_width)}  "
-        f"{'tags'.ljust(tag_width)}  title"
-    )
+    print(f"{'id'.ljust(id_width)}  {'ref'.ljust(ref_width)}  " f"{'tags'.ljust(tag_width)}  title")
     for spec in specs:
         print(
             f"{spec.id.ljust(id_width)}  {spec.paper_ref.ljust(ref_width)}  "
@@ -241,9 +237,7 @@ def _write_run_artifacts(
 def cmd_run(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
     only = _parse_csv(args.only)
     tags = _parse_csv(args.tag)
-    outputs = run_experiments(
-        registry, only=only, tags=tags, jobs=args.jobs, seed=args.seed
-    )
+    outputs = run_experiments(registry, only=only, tags=tags, jobs=args.jobs, seed=args.seed)
     if not args.quiet:
         print(format_report(outputs))
     if args.output_dir:
@@ -253,9 +247,7 @@ def cmd_run(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
             "jobs": args.jobs,
             "experiments": [exp_id for exp_id, _, _ in outputs],
         }
-        manifest = _write_run_artifacts(
-            Path(args.output_dir), registry, outputs, config, args.seed
-        )
+        manifest = _write_run_artifacts(Path(args.output_dir), registry, outputs, config, args.seed)
         print(f"wrote {len(outputs)} experiment artifact pairs + {manifest}")
     return 0
 
@@ -282,12 +274,24 @@ def _sweep_workload(dataset: str, pool: int | None):
     return movielens_quality_evaluator(preset, pool), movielens_model_specs(), 2, pool
 
 
+def _parse_platforms(text: str) -> tuple[str, ...]:
+    """``--platform`` as a swept axis: a comma-separated list or ``all``."""
+    from repro.core.sweep import PLATFORMS
+
+    items = _parse_csv(text)
+    if not items:
+        raise ValueError("--platform needs at least one platform (or 'all')")
+    if len(items) == 1 and items[0].lower() == "all":
+        return PLATFORMS
+    return tuple(items)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.sweep import SweepConfig, run_sweep
 
     evaluator, specs, num_tables, pool = _sweep_workload(args.dataset, args.pool)
     config = SweepConfig(
-        platform=args.platform,
+        platforms=_parse_platforms(args.platform),
         qps=_parse_floats(args.qps, "--qps"),
         sla_ms=args.sla_ms,
         quality_target=args.quality_target,
@@ -299,27 +303,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_tables=num_tables,
     )
-    outcome = run_sweep(evaluator, specs, config)
+    start = time.perf_counter()
+    outcome = run_sweep(evaluator, specs, config, jobs=args.jobs)
+    elapsed = time.perf_counter() - start
 
-    result = ExperimentResult(name=f"sweep_{args.dataset}_{args.platform}")
-    for row in outcome.rows():
+    rows = outcome.rows()
+    result = ExperimentResult(name=f"sweep_{args.dataset}")
+    for row in rows:
         result.add(**row)
     for line in outcome.summary_lines():
         result.note(line)
 
+    frontier_result = ExperimentResult(name=f"sweep_{args.dataset}_frontier")
+    for row in outcome.frontier_rows():
+        frontier_result.add(**row)
+
     if not args.quiet:
         print(result.format_table())
+        print()
+        print(frontier_result.format_table())
     if args.output_dir:
+        platforms_label = ",".join(config.platforms)
         meta = {
             "id": "sweep",
-            "title": f"Design-space sweep ({args.dataset} on {args.platform})",
-            "paper_ref": "Figures 7/8/12 methodology",
-            "tags": ["sweep", args.dataset, args.platform],
+            "title": f"Design-space sweep ({args.dataset} on {platforms_label})",
+            "paper_ref": "Figures 7/8/10/12 methodology",
+            "tags": ["sweep", args.dataset, *config.platforms],
             "module": "repro.core.sweep",
         }
+        per_platform = {}
+        for platform in config.platforms:
+            breakdown = ExperimentResult(name=f"sweep_{args.dataset}_{platform}")
+            for row in outcome.platform_rows(platform, rows):
+                breakdown.add(**row)
+            per_platform[platform] = breakdown
         cli_config = {
             "dataset": args.dataset,
-            "platform": args.platform,
+            "platforms": list(config.platforms),
+            "baseline_platform": config.baseline_platform,
             "qps": list(config.qps),
             "sla_ms": config.sla_ms,
             "quality_target": config.quality_target,
@@ -330,14 +351,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "num_tables": config.num_tables,
             "num_queries": config.num_queries,
             "pool": pool,
+            "jobs": args.jobs,
         }
-        entry = artifacts.write_experiment_artifacts(
-            Path(args.output_dir), meta, result, seed=args.seed
+        entries = artifacts.write_sweep_artifacts(
+            Path(args.output_dir),
+            meta,
+            result,
+            per_platform,
+            frontier_result,
+            seed=args.seed,
+            wall_clock_seconds=elapsed,
         )
         manifest = artifacts.write_manifest(
-            Path(args.output_dir), "sweep", cli_config, [entry], seed=args.seed
+            Path(args.output_dir), "sweep", cli_config, entries, seed=args.seed
         )
-        print(f"wrote sweep artifacts + {manifest}")
+        print(f"wrote {len(entries)} sweep artifact pairs + {manifest}")
     return 0
 
 

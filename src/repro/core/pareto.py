@@ -30,9 +30,7 @@ def pareto_frontier(
         raise ValueError("all objective tuples must have the same length")
 
     # Normalize to minimization.
-    normalized = [
-        tuple(v if flag else -v for v, flag in zip(vals, minimize)) for vals in values
-    ]
+    normalized = [tuple(v if flag else -v for v, flag in zip(vals, minimize)) for vals in values]
     frontier: list[T] = []
     for i, item in enumerate(items):
         dominated = False

@@ -52,9 +52,7 @@ class PipelineConfig:
                     f"{prev.num_items} -> {cur.num_items}"
                 )
         if self.stages[-1].num_items < self.serve_k:
-            raise ValueError(
-                f"the last stage must rank at least serve_k={self.serve_k} items"
-            )
+            raise ValueError(f"the last stage must rank at least serve_k={self.serve_k} items")
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -103,10 +101,7 @@ class PipelineConfig:
 
     def filtering_ratios(self) -> list[float]:
         """Items-ranked reduction factor between consecutive stages."""
-        return [
-            prev.num_items / cur.num_items
-            for prev, cur in zip(self.stages, self.stages[1:])
-        ]
+        return [prev.num_items / cur.num_items for prev, cur in zip(self.stages, self.stages[1:])]
 
 
 def enumerate_pipelines(
@@ -139,9 +134,7 @@ def enumerate_pipelines(
             for items in _item_ladders(
                 first_stage_items, later_stage_items, num_stages, serve_k
             ):
-                stages = tuple(
-                    Stage(model=m, num_items=n) for m, n in zip(models, items)
-                )
+                stages = tuple(Stage(model=m, num_items=n) for m, n in zip(models, items))
                 configs.append(PipelineConfig(stages=stages, serve_k=serve_k))
     return configs
 

@@ -96,9 +96,7 @@ class RecPipeScheduler:
                 pipeline, devices, hw.cpu, hw.gpu, hw.pcie, num_tables=self.num_tables
             )
         if platform == "baseline-accel":
-            return build_accelerator_plan(
-                pipeline, hw.baseline_accel, num_tables=self.num_tables
-            )
+            return build_accelerator_plan(pipeline, hw.baseline_accel, num_tables=self.num_tables)
         if platform == "rpaccel":
             return build_accelerator_plan(
                 pipeline, hw.rpaccel, num_tables=self.num_tables, **accel_kwargs
@@ -118,12 +116,18 @@ class RecPipeScheduler:
         qps: float,
         devices: Sequence[str] | None = None,
         sub_batches: int = 1,
+        quality: float | None = None,
         **accel_kwargs,
     ) -> EvaluatedConfig:
-        """Quality + at-scale performance of one configuration on one platform."""
-        quality = self.evaluator.evaluate(
-            pipeline.funnel_stages(), sub_batches=sub_batches
-        )
+        """Quality + at-scale performance of one configuration on one platform.
+
+        Quality is independent of the platform and the offered load, so
+        callers sweeping many (platform, qps) cells can compute it once per
+        pipeline (see :meth:`quality_map`) and pass it via ``quality`` to
+        skip the evaluator entirely.
+        """
+        if quality is None:
+            quality = self.evaluator.evaluate(pipeline.funnel_stages(), sub_batches=sub_batches)
         plan = self.plan_for(pipeline, platform, devices=devices, **accel_kwargs)
         simulator = ServingSimulator(plan, self.simulation)
         capacity = plan.throughput_capacity()
@@ -148,9 +152,37 @@ class RecPipeScheduler:
         pipelines: Sequence[PipelineConfig],
         platform: str,
         qps: float,
+        qualities: dict[str, float] | None = None,
         **kwargs,
     ) -> list[EvaluatedConfig]:
-        return [self.evaluate(p, platform, qps, **kwargs) for p in pipelines]
+        """Evaluate every pipeline on one platform at one load.
+
+        ``qualities`` maps pipeline names to precomputed quality scores
+        (:meth:`quality_map`); pipelines missing from the map fall back to
+        the evaluator.
+        """
+        qualities = qualities or {}
+        return [
+            self.evaluate(p, platform, qps, quality=qualities.get(p.name), **kwargs)
+            for p in pipelines
+        ]
+
+    def quality_map(
+        self, pipelines: Sequence[PipelineConfig], sub_batches: int = 1
+    ) -> dict[str, float]:
+        """Quality of each unique pipeline, evaluated once per pipeline.
+
+        The returned dict is the memo that :func:`repro.core.sweep.run_sweep`
+        shares across every (platform, qps) cell: quality depends only on the
+        funnel configuration, never on the hardware mapping or offered load.
+        """
+        qualities: dict[str, float] = {}
+        for pipeline in pipelines:
+            if pipeline.name not in qualities:
+                qualities[pipeline.name] = self.evaluator.evaluate(
+                    pipeline.funnel_stages(), sub_batches=sub_batches
+                )
+        return qualities
 
     # ------------------------------------------------------------------ #
     # Cross-sections of the design space
@@ -174,9 +206,7 @@ class RecPipeScheduler:
     ) -> EvaluatedConfig | None:
         """Lowest-latency feasible configuration meeting the quality target."""
         key = key if key is not None else (lambda e: e.p99_latency)
-        candidates = [
-            e for e in evaluated if e.feasible and e.quality >= quality_target
-        ]
+        candidates = [e for e in evaluated if e.feasible and e.quality >= quality_target]
         if not candidates:
             return None
         return min(candidates, key=key)
@@ -186,10 +216,13 @@ class RecPipeScheduler:
         evaluated: Sequence[EvaluatedConfig],
         sla_seconds: float,
     ) -> EvaluatedConfig | None:
-        """Highest-quality feasible configuration within the latency SLA."""
-        candidates = [
-            e for e in evaluated if e.feasible and e.p99_latency <= sla_seconds
-        ]
+        """Highest-quality feasible configuration within the latency SLA.
+
+        Quality ties break toward the lower tail latency, so pooling
+        several platforms' evaluations picks the fastest platform among
+        equal-quality candidates.
+        """
+        candidates = [e for e in evaluated if e.feasible and e.p99_latency <= sla_seconds]
         if not candidates:
             return None
-        return max(candidates, key=lambda e: e.quality)
+        return max(candidates, key=lambda e: (e.quality, -e.p99_latency))

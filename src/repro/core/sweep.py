@@ -4,15 +4,30 @@ The paper's figures fix the candidate pools, loads and SLAs to its
 experimental setup; this module exposes the same methodology —
 :func:`~repro.core.pipeline.enumerate_pipelines` x
 :class:`~repro.core.scheduler.RecPipeScheduler` — with every knob
-user-supplied: QPS points, tail-latency SLA, quality target, item ladders,
-stage count and simulation budget.  The outcome carries the raw
-:class:`~repro.core.scheduler.EvaluatedConfig` records plus the paper's three
-cross-sections (Pareto frontier, best-under-SLA, best-at-iso-quality) and
+user-supplied: hardware platforms, QPS points, tail-latency SLA, quality
+target, item ladders, stage count and simulation budget.
+
+``platform`` is a swept axis, not a scalar: :class:`SweepConfig` takes a
+tuple of platforms and :func:`run_sweep` evaluates every (platform, qps,
+pipeline) cell in one invocation, the way the paper's headline comparison
+(Figures 8–10) puts CPU, GPU, heterogeneous CPU-GPU and RPAccel on one
+frontier.  Quality is load- and platform-independent, so it is evaluated
+once per unique pipeline (:meth:`RecPipeScheduler.quality_map`) and reused
+across all cells; the per-cell performance simulations can fan out over a
+process pool (``jobs``).
+
+The outcome carries the raw :class:`~repro.core.scheduler.EvaluatedConfig`
+records plus per-platform cross-sections (Pareto frontier, best-under-SLA,
+best-at-iso-quality) and the cross-platform cross-sections behind the
+paper's Figure 10-style comparison: a combined frontier over all platforms
+per load, the best platform under the SLA, and a speedup-vs-baseline column
+(the first platform in ``platforms`` is the baseline).  Everything
 serializes to plain rows for the CLI's JSON/CSV artifacts.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -25,12 +40,15 @@ from repro.serving.simulator import SimulationConfig
 
 PLATFORMS = ("cpu", "gpu", "gpu-cpu", "baseline-accel", "rpaccel")
 
+#: A (platform, qps) cell of the sweep grid.
+Cell = tuple[str, float]
+
 
 @dataclass(frozen=True)
 class SweepConfig:
     """Everything a design-space sweep needs besides the workload itself."""
 
-    platform: str = "cpu"
+    platforms: tuple[str, ...] = ("cpu",)
     qps: tuple[float, ...] = (500.0,)
     sla_ms: float = 25.0
     quality_target: float | None = None
@@ -43,10 +61,16 @@ class SweepConfig:
     num_tables: int = 26
 
     def __post_init__(self) -> None:
-        if self.platform not in PLATFORMS:
-            raise ValueError(
-                f"unknown platform {self.platform!r}; expected one of {PLATFORMS}"
-            )
+        platforms = self.platforms
+        if isinstance(platforms, str):  # a lone platform name is a 1-cell axis
+            platforms = (platforms,)
+        deduped = tuple(dict.fromkeys(platforms))
+        object.__setattr__(self, "platforms", deduped)
+        if not self.platforms:
+            raise ValueError("platforms needs at least one platform")
+        unknown = [p for p in self.platforms if p not in PLATFORMS]
+        if unknown:
+            raise ValueError(f"unknown platforms {unknown}; expected a subset of {PLATFORMS}")
         if not self.qps or any(q <= 0 for q in self.qps):
             raise ValueError(f"qps points must be positive, got {self.qps}")
         if self.sla_ms <= 0:
@@ -58,43 +82,152 @@ class SweepConfig:
     def sla_seconds(self) -> float:
         return self.sla_ms / 1e3
 
+    @property
+    def baseline_platform(self) -> str:
+        """The platform speedups are reported against (first in the axis)."""
+        return self.platforms[0]
+
+    def cells(self) -> list[Cell]:
+        """The (platform, qps) grid in deterministic order."""
+        return [(platform, qps) for platform in self.platforms for qps in self.qps]
+
 
 @dataclass
 class SweepOutcome:
-    """All evaluations of one sweep plus the paper's cross-sections per load."""
+    """All evaluations of one sweep plus the paper's cross-sections.
+
+    Per-platform cross-sections (``frontier``, ``best_under_sla``,
+    ``best_at_quality``) are keyed by (platform, qps) cell; the
+    cross-platform cross-sections (``combined_frontier``,
+    ``best_platform_under_sla``) pool every platform at one load and are
+    keyed by qps alone.
+    """
 
     config: SweepConfig
     pipelines: list[PipelineConfig]
-    evaluated: dict[float, list[EvaluatedConfig]] = field(default_factory=dict)
-    frontier: dict[float, list[EvaluatedConfig]] = field(default_factory=dict)
-    best_under_sla: dict[float, EvaluatedConfig | None] = field(default_factory=dict)
-    best_at_quality: dict[float, EvaluatedConfig | None] = field(default_factory=dict)
+    quality_by_pipeline: dict[str, float] = field(default_factory=dict)
+    evaluated: dict[Cell, list[EvaluatedConfig]] = field(default_factory=dict)
+    frontier: dict[Cell, list[EvaluatedConfig]] = field(default_factory=dict)
+    best_under_sla: dict[Cell, EvaluatedConfig | None] = field(default_factory=dict)
+    best_at_quality: dict[Cell, EvaluatedConfig | None] = field(default_factory=dict)
+    combined_frontier: dict[float, list[EvaluatedConfig]] = field(default_factory=dict)
+    best_platform_under_sla: dict[float, EvaluatedConfig | None] = field(default_factory=dict)
+    _baseline_p99_cache: dict[tuple[str, float], float] | None = field(
+        default=None, init=False, repr=False
+    )
+
+    def _baseline_p99(self) -> dict[tuple[str, float], float]:
+        """(pipeline, qps) -> p99 on the baseline platform, saturated excluded.
+
+        Computed once and cached: the evaluations never change after
+        :func:`run_sweep` fills the outcome, and :meth:`speedup_vs_baseline`
+        is called once per row/frontier member.
+        """
+        if self._baseline_p99_cache is None:
+            baseline = self.config.baseline_platform
+            p99: dict[tuple[str, float], float] = {}
+            for qps in self.config.qps:
+                for e in self.evaluated.get((baseline, qps), []):
+                    if not e.saturated:
+                        p99[(e.pipeline.name, qps)] = e.p99_latency
+            self._baseline_p99_cache = p99
+        return self._baseline_p99_cache
+
+    def speedup_vs_baseline(self, e: EvaluatedConfig) -> float | None:
+        """p99 speedup of ``e`` over the same pipeline on the baseline platform.
+
+        ``None`` when either side is saturated (no finite latency to compare);
+        baseline rows report 1.0 by construction.
+        """
+        if e.saturated:
+            return None
+        base = self._baseline_p99().get((e.pipeline.name, e.offered_qps))
+        if base is None:
+            return None
+        return base / e.p99_latency
 
     def rows(self) -> list[dict]:
-        """One JSON/CSV-ready row per (pipeline, qps) evaluation."""
+        """One JSON/CSV-ready row per (platform, pipeline, qps) evaluation."""
+        baseline_p99 = self._baseline_p99()
         rows = []
         for qps in self.config.qps:
-            frontier_names = {e.pipeline.name for e in self.frontier.get(qps, [])}
-            sla_best = self.best_under_sla.get(qps)
-            quality_best = self.best_at_quality.get(qps)
-            for e in self.evaluated.get(qps, []):
+            combined = {(e.platform, e.pipeline.name) for e in self.combined_frontier.get(qps, [])}
+            platform_best = self.best_platform_under_sla.get(qps)
+            for platform in self.config.platforms:
+                cell = (platform, qps)
+                frontier_names = {e.pipeline.name for e in self.frontier.get(cell, [])}
+                sla_best = self.best_under_sla.get(cell)
+                quality_best = self.best_at_quality.get(cell)
+                for e in self.evaluated.get(cell, []):
+                    base = baseline_p99.get((e.pipeline.name, qps))
+                    speedup = (
+                        base / e.p99_latency
+                        if base is not None and not e.saturated
+                        else None
+                    )
+                    rows.append(
+                        {
+                            "pipeline": e.pipeline.name,
+                            "num_stages": e.pipeline.num_stages,
+                            "platform": e.platform,
+                            "qps": qps,
+                            "quality_ndcg": e.quality,
+                            "p99_ms": float("inf")
+                            if e.saturated
+                            else e.p99_latency * 1e3,
+                            "unloaded_ms": e.unloaded_latency * 1e3,
+                            "capacity_qps": e.throughput_capacity,
+                            "saturated": e.saturated,
+                            "meets_sla": e.meets(0.0, self.config.sla_seconds),
+                            "speedup_vs_baseline": speedup,
+                            "on_frontier": e.pipeline.name in frontier_names,
+                            "on_combined_frontier": (platform, e.pipeline.name)
+                            in combined,
+                            "best_under_sla": sla_best is not None
+                            and e.pipeline.name == sla_best.pipeline.name,
+                            "best_platform_under_sla": platform_best is not None
+                            and platform == platform_best.platform
+                            and e.pipeline.name == platform_best.pipeline.name,
+                            "best_at_quality_target": quality_best is not None
+                            and e.pipeline.name == quality_best.pipeline.name,
+                        }
+                    )
+        return rows
+
+    def platform_rows(
+        self, platform: str, rows: Sequence[dict] | None = None
+    ) -> list[dict]:
+        """The subset of :meth:`rows` mapped onto one platform.
+
+        Callers splitting one sweep into several per-platform views should
+        compute ``rows = outcome.rows()`` once and pass it in.
+        """
+        if rows is None:
+            rows = self.rows()
+        return [row for row in rows if row["platform"] == platform]
+
+    def frontier_rows(self) -> list[dict]:
+        """The combined cross-platform frontier, one row per member per load.
+
+        This is the Figure 10-style artifact: at each load, the
+        quality/latency-optimal configurations pooled over every swept
+        platform, with the winning platform and its speedup over the
+        baseline platform spelled out.
+        """
+        rows = []
+        for qps in self.config.qps:
+            members = sorted(self.combined_frontier.get(qps, []), key=lambda e: e.p99_latency)
+            for e in members:
                 rows.append(
                     {
+                        "qps": qps,
+                        "platform": e.platform,
                         "pipeline": e.pipeline.name,
                         "num_stages": e.pipeline.num_stages,
-                        "platform": e.platform,
-                        "qps": qps,
                         "quality_ndcg": e.quality,
-                        "p99_ms": float("inf") if e.saturated else e.p99_latency * 1e3,
-                        "unloaded_ms": e.unloaded_latency * 1e3,
-                        "capacity_qps": e.throughput_capacity,
-                        "saturated": e.saturated,
+                        "p99_ms": e.p99_latency * 1e3,
+                        "speedup_vs_baseline": self.speedup_vs_baseline(e),
                         "meets_sla": e.meets(0.0, self.config.sla_seconds),
-                        "on_frontier": e.pipeline.name in frontier_names,
-                        "best_under_sla": sla_best is not None
-                        and e.pipeline.name == sla_best.pipeline.name,
-                        "best_at_quality_target": quality_best is not None
-                        and e.pipeline.name == quality_best.pipeline.name,
                     }
                 )
         return rows
@@ -103,40 +236,99 @@ class SweepOutcome:
         """Human-readable per-load summary (printed by the CLI)."""
         cfg = self.config
         lines = [
-            f"{len(self.pipelines)} configurations on {cfg.platform} "
-            f"(sla {cfg.sla_ms:.1f} ms, seed {cfg.seed})"
+            f"{len(self.pipelines)} configurations x "
+            f"{len(cfg.platforms)} platforms ({', '.join(cfg.platforms)}; "
+            f"baseline {cfg.baseline_platform}; sla {cfg.sla_ms:.1f} ms, "
+            f"seed {cfg.seed})"
         ]
         for qps in cfg.qps:
-            frontier = self.frontier.get(qps, [])
-            lines.append(
-                f"qps {qps:g}: {len(frontier)} Pareto-optimal of "
-                f"{len(self.evaluated.get(qps, []))} evaluated"
-            )
-            best = self.best_under_sla.get(qps)
-            if best is None:
+            for platform in cfg.platforms:
+                cell = (platform, qps)
+                frontier = self.frontier.get(cell, [])
                 lines.append(
-                    f"qps {qps:g}: no configuration meets the "
-                    f"{cfg.sla_ms:.1f} ms SLA"
+                    f"{platform} @ qps {qps:g}: {len(frontier)} Pareto-optimal "
+                    f"of {len(self.evaluated.get(cell, []))} evaluated"
                 )
-            else:
-                lines.append(
-                    f"qps {qps:g}: best under SLA = {best.pipeline.name} "
-                    f"(ndcg {best.quality:.2f}, p99 {best.p99_latency * 1e3:.2f} ms)"
-                )
-            if cfg.quality_target is not None:
-                best_q = self.best_at_quality.get(qps)
-                if best_q is None:
+                best = self.best_under_sla.get(cell)
+                if best is None:
                     lines.append(
-                        f"qps {qps:g}: no feasible configuration reaches "
-                        f"quality {cfg.quality_target:.2f}"
+                        f"{platform} @ qps {qps:g}: no configuration meets "
+                        f"the {cfg.sla_ms:.1f} ms SLA"
                     )
                 else:
                     lines.append(
-                        f"qps {qps:g}: fastest at quality>={cfg.quality_target:.2f}"
-                        f" = {best_q.pipeline.name} "
-                        f"(p99 {best_q.p99_latency * 1e3:.2f} ms)"
+                        f"{platform} @ qps {qps:g}: best under SLA = "
+                        f"{best.pipeline.name} (ndcg {best.quality:.2f}, "
+                        f"p99 {best.p99_latency * 1e3:.2f} ms)"
                     )
+                if cfg.quality_target is not None:
+                    best_q = self.best_at_quality.get(cell)
+                    if best_q is None:
+                        lines.append(
+                            f"{platform} @ qps {qps:g}: no feasible configuration "
+                            f"reaches quality {cfg.quality_target:.2f}"
+                        )
+                    else:
+                        lines.append(
+                            f"{platform} @ qps {qps:g}: fastest at "
+                            f"quality>={cfg.quality_target:.2f} = "
+                            f"{best_q.pipeline.name} "
+                            f"(p99 {best_q.p99_latency * 1e3:.2f} ms)"
+                        )
+            combined = self.combined_frontier.get(qps, [])
+            lines.append(
+                f"qps {qps:g}: combined cross-platform frontier has "
+                f"{len(combined)} configurations"
+            )
+            platform_best = self.best_platform_under_sla.get(qps)
+            if platform_best is None:
+                lines.append(f"qps {qps:g}: no platform meets the {cfg.sla_ms:.1f} ms SLA")
+            else:
+                speedup = self.speedup_vs_baseline(platform_best)
+                speedup_note = (
+                    f", {speedup:.2f}x vs {cfg.baseline_platform}"
+                    if speedup is not None
+                    else ""
+                )
+                lines.append(
+                    f"qps {qps:g}: best platform under SLA = "
+                    f"{platform_best.platform} with {platform_best.pipeline.name} "
+                    f"(ndcg {platform_best.quality:.2f}, "
+                    f"p99 {platform_best.p99_latency * 1e3:.2f} ms{speedup_note})"
+                )
         return lines
+
+
+def _evaluate_cell(
+    scheduler: RecPipeScheduler,
+    pipelines: Sequence[PipelineConfig],
+    platform: str,
+    qps: float,
+    qualities: dict[str, float],
+) -> list[EvaluatedConfig]:
+    """Performance-evaluate one (platform, qps) cell."""
+    return scheduler.evaluate_many(pipelines, platform, qps, qualities=qualities)
+
+
+#: Per-worker sweep state installed by :func:`_init_worker`.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(
+    scheduler: RecPipeScheduler,
+    pipelines: Sequence[PipelineConfig],
+    qualities: dict[str, float],
+) -> None:
+    """Ship the scheduler (with its query workload) and the quality memo to a
+    worker once, instead of re-pickling them with every (platform, qps) task.
+    Workers never re-run the quality simulation — the memo travels with them.
+    """
+    _WORKER_STATE["sweep"] = (scheduler, pipelines, qualities)
+
+
+def _evaluate_cell_in_worker(platform: str, qps: float) -> list[EvaluatedConfig]:
+    scheduler, pipelines, qualities = _WORKER_STATE["sweep"]
+    return _evaluate_cell(scheduler, pipelines, platform, qps, qualities)
 
 
 def run_sweep(
@@ -144,8 +336,14 @@ def run_sweep(
     model_specs: Sequence[ModelSpec],
     config: SweepConfig,
     hardware: HardwarePool | None = None,
+    jobs: int = 1,
 ) -> SweepOutcome:
-    """Enumerate, evaluate and cross-section the design space of ``config``."""
+    """Enumerate, evaluate and cross-section the design space of ``config``.
+
+    Quality is evaluated once per unique pipeline and shared across every
+    (platform, qps) cell; with ``jobs > 1`` the per-cell performance
+    simulations run in up to ``jobs`` worker processes.
+    """
     pipelines = enumerate_pipelines(
         model_specs,
         first_stage_items=config.first_stage_items,
@@ -165,16 +363,43 @@ def run_sweep(
         simulation=SimulationConfig.with_budget(config.num_queries, seed=config.seed),
         num_tables=config.num_tables,
     )
-    outcome = SweepOutcome(config=config, pipelines=pipelines)
-    for qps in config.qps:
-        evaluated = scheduler.evaluate_many(pipelines, config.platform, qps)
-        outcome.evaluated[qps] = evaluated
-        outcome.frontier[qps] = scheduler.quality_latency_frontier(evaluated)
-        outcome.best_under_sla[qps] = scheduler.best_quality_under_sla(
+    # Quality depends only on the funnel, so hoist it out of the grid: one
+    # evaluation per unique pipeline, reused by every (platform, qps) cell
+    # (and shipped to worker processes instead of recomputed there).
+    qualities = scheduler.quality_map(pipelines)
+    cells = config.cells()
+    if jobs <= 1 or len(cells) <= 1:
+        evaluated_cells = {
+            cell: _evaluate_cell(scheduler, pipelines, cell[0], cell[1], qualities)
+            for cell in cells
+        }
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(cells)),
+            initializer=_init_worker,
+            initargs=(scheduler, pipelines, qualities),
+        ) as pool:
+            futures = {
+                cell: pool.submit(_evaluate_cell_in_worker, cell[0], cell[1])
+                for cell in cells
+            }
+            evaluated_cells = {cell: future.result() for cell, future in futures.items()}
+
+    outcome = SweepOutcome(config=config, pipelines=pipelines, quality_by_pipeline=qualities)
+    for cell, evaluated in evaluated_cells.items():
+        outcome.evaluated[cell] = evaluated
+        outcome.frontier[cell] = scheduler.quality_latency_frontier(evaluated)
+        outcome.best_under_sla[cell] = scheduler.best_quality_under_sla(
             evaluated, config.sla_seconds
         )
         if config.quality_target is not None:
-            outcome.best_at_quality[qps] = scheduler.best_at_iso_quality(
+            outcome.best_at_quality[cell] = scheduler.best_at_iso_quality(
                 evaluated, config.quality_target
             )
+    for qps in config.qps:
+        pooled = [e for platform in config.platforms for e in outcome.evaluated[(platform, qps)]]
+        outcome.combined_frontier[qps] = scheduler.quality_latency_frontier(pooled)
+        outcome.best_platform_under_sla[qps] = scheduler.best_quality_under_sla(
+            pooled, config.sla_seconds
+        )
     return outcome

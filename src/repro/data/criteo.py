@@ -167,9 +167,7 @@ class CriteoSynthetic:
         """
         if num_queries <= 0 or candidates_per_query <= 0:
             raise ValueError("num_queries and candidates_per_query must be positive")
-        rng = np.random.default_rng(
-            self.config.seed + 13 if seed is None else seed
-        )
+        rng = np.random.default_rng(self.config.seed + 13 if seed is None else seed)
         queries = []
         for q in range(num_queries):
             dense, sparse = self._sample_features(rng, candidates_per_query)

@@ -65,9 +65,7 @@ class RankingQuery:
     def __post_init__(self) -> None:
         n = self.dense.shape[0]
         if self.sparse.shape[0] != n or self.relevance.shape[0] != n:
-            raise ValueError(
-                "dense, sparse and relevance must share the candidate dimension"
-            )
+            raise ValueError("dense, sparse and relevance must share the candidate dimension")
         if n == 0:
             raise ValueError("a ranking query must contain at least one candidate")
 

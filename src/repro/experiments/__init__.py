@@ -26,6 +26,7 @@ Module                    Paper artifact
 ``fig12_rpaccel_scale``   Figure 12 RPAccel at-scale evaluation
 ``fig13_future``          Figure 13 future model scaling with SSDs
 ``fig14_summary``         Figure 14 cross-dataset / cross-load summary
+``sweep_multiplatform``   Figures 8-10 cross-platform sweep on one frontier
 ========================  =====================================================
 """
 

@@ -56,9 +56,7 @@ def _sanitize(value):
 
 def _dump_json(path: Path, payload: dict) -> None:
     with path.open("w", encoding="utf-8") as handle:
-        json.dump(
-            _sanitize(payload), handle, indent=2, default=_json_default, allow_nan=False
-        )
+        json.dump(_sanitize(payload), handle, indent=2, default=_json_default, allow_nan=False)
         handle.write("\n")
 
 
@@ -143,9 +141,7 @@ def write_experiment_artifacts(
     exp_id = meta["id"]
     json_path = output_dir / f"{exp_id}.json"
     csv_path = output_dir / f"{exp_id}.csv"
-    write_result_json(
-        json_path, result_payload(meta, result, seed, wall_clock_seconds)
-    )
+    write_result_json(json_path, result_payload(meta, result, seed, wall_clock_seconds))
     write_result_csv(csv_path, result)
     return {
         "id": exp_id,
@@ -157,6 +153,45 @@ def write_experiment_artifacts(
         "json": json_path.name,
         "csv": csv_path.name,
     }
+
+
+def write_sweep_artifacts(
+    output_dir: Path,
+    meta: Mapping,
+    combined: ExperimentResult,
+    per_platform: Mapping[str, ExperimentResult],
+    frontier: ExperimentResult,
+    seed: int | None = None,
+    wall_clock_seconds: float | None = None,
+) -> list[dict]:
+    """Write the artifact set of one multi-platform sweep.
+
+    Three kinds of artifacts, all derived from ``meta["id"]`` (``sweep`` by
+    convention):
+
+    * ``sweep.json`` / ``sweep.csv`` -- every (platform, pipeline, qps) row,
+    * ``sweep_<platform>.json`` / ``.csv`` -- the per-platform breakdown,
+    * ``sweep_frontier.json`` / ``.csv`` -- the combined cross-platform
+      Pareto frontier per load (the Figure 10-style comparison).
+
+    Returns the manifest entries in that order.
+    """
+    base_id = meta["id"]
+    entries = [
+        write_experiment_artifacts(
+            output_dir, meta, combined, seed=seed, wall_clock_seconds=wall_clock_seconds
+        )
+    ]
+    for platform, result in per_platform.items():
+        platform_meta = dict(meta)
+        platform_meta["id"] = f"{base_id}_{platform}"
+        platform_meta["title"] = f"{meta.get('title', base_id)} — {platform} breakdown"
+        entries.append(write_experiment_artifacts(output_dir, platform_meta, result, seed=seed))
+    frontier_meta = dict(meta)
+    frontier_meta["id"] = f"{base_id}_frontier"
+    frontier_meta["title"] = (f"{meta.get('title', base_id)} — combined cross-platform frontier")
+    entries.append(write_experiment_artifacts(output_dir, frontier_meta, frontier, seed=seed))
+    return entries
 
 
 def write_manifest(

@@ -45,20 +45,14 @@ class ExperimentResult:
 
     def filtered(self, **criteria) -> list[dict]:
         """Rows matching every key=value criterion."""
-        return [
-            row
-            for row in self.rows
-            if all(row.get(k) == v for k, v in criteria.items())
-        ]
+        return [row for row in self.rows if all(row.get(k) == v for k, v in criteria.items())]
 
     def format_table(self) -> str:
         """Plain-text rendering of the rows (for scripts and EXPERIMENTS.md)."""
         if not self.rows:
             return f"== {self.name} ==\n(no rows)"
         keys = list(self.rows[0].keys())
-        widths = {
-            k: max(len(k), *(len(_fmt(row.get(k))) for row in self.rows)) for k in keys
-        }
+        widths = {k: max(len(k), *(len(_fmt(row.get(k))) for row in self.rows)) for k in keys}
         header = " | ".join(k.ljust(widths[k]) for k in keys)
         sep = "-+-".join("-" * widths[k] for k in keys)
         lines = [f"== {self.name} ==", header, sep]
@@ -97,9 +91,7 @@ def criteo_two_stage_med(pool: int = CRITEO_POOL, keep: int = 512) -> PipelineCo
 
 def criteo_three_stage(pool: int = CRITEO_POOL) -> PipelineConfig:
     """Three-stage Criteo funnel: RMsmall -> RMmed -> RMlarge."""
-    return PipelineConfig(
-        (Stage(RM_SMALL, pool), Stage(RM_MED, 1024), Stage(RM_LARGE, 256))
-    )
+    return PipelineConfig((Stage(RM_SMALL, pool), Stage(RM_MED, 1024), Stage(RM_LARGE, 256)))
 
 
 def movielens_pipelines(pool: int = 1024) -> dict[int, PipelineConfig]:

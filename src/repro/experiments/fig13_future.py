@@ -99,12 +99,13 @@ def run_scaling(
 
 def _loaded(plan: PipelinePlan, unloaded_latency: float, qps: float) -> float:
     """First-order queueing inflation of the unloaded latency at ``qps``."""
+    stages = list(plan.stages)
+    ssd_overhead = unloaded_latency - plan.unloaded_latency()
+    if ssd_overhead > 0:
+        stages.append(StageResource(name="ssd-tier", num_servers=4, service_seconds=ssd_overhead))
     augmented = PipelinePlan(
         platform=plan.platform,
-        stages=list(plan.stages)
-        + [StageResource(name="ssd-tier", num_servers=4, service_seconds=unloaded_latency - plan.unloaded_latency())]
-        if unloaded_latency > plan.unloaded_latency()
-        else list(plan.stages),
+        stages=stages,
         description=plan.description,
     )
     utilization = min(augmented.utilization(qps), 0.97)

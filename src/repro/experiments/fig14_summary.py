@@ -37,9 +37,7 @@ def _criteo_setup() -> tuple[RecPipeScheduler, dict]:
 
 def _movielens_setup(preset: str) -> tuple[RecPipeScheduler, dict]:
     pool = 1024 if preset == "1m" else 2048
-    scheduler = make_scheduler(
-        movielens_quality_evaluator(preset, pool=pool), num_tables=2
-    )
+    scheduler = make_scheduler(movielens_quality_evaluator(preset, pool=pool), num_tables=2)
     return scheduler, movielens_pipelines(pool)
 
 
@@ -72,9 +70,7 @@ def run(
                         # backend-on-CPU (Section 5.2).
                         chosen_platform = "gpu-cpu"
                         devices = ["gpu"] + ["cpu"] * (num_stages - 1)
-                    evaluated = scheduler.evaluate(
-                        pipeline, chosen_platform, qps, devices=devices
-                    )
+                    evaluated = scheduler.evaluate(pipeline, chosen_platform, qps, devices=devices)
                     result.add(
                         dataset=dataset,
                         qps=qps,

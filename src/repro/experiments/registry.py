@@ -27,6 +27,7 @@ from repro.experiments import (
     fig12_rpaccel_scale,
     fig13_future,
     fig14_summary,
+    sweep_multiplatform,
     tab01_pareto_models,
 )
 from repro.experiments.common import ExperimentResult
@@ -153,12 +154,8 @@ class ExperimentRegistry:
             known_tags = set(self.tags())
             unknown_tags = [tag for tag in tags if tag not in known_tags]
             if unknown_tags:
-                raise UnknownTagError(
-                    f"unknown tags {unknown_tags}; available: {self.tags()}"
-                )
-            selected &= {
-                spec.id for spec in self if any(tag in spec.tags for tag in tags)
-            }
+                raise UnknownTagError(f"unknown tags {unknown_tags}; available: {self.tags()}")
+            selected &= {spec.id for spec in self if any(tag in spec.tags for tag in tags)}
         closure = self._dependency_closure(selected)
         return self._topological_order(closure)
 
@@ -223,6 +220,7 @@ def _build_default_registry() -> ExperimentRegistry:
         ("fig12", fig12_rpaccel_scale),
         ("fig13", fig13_future),
         ("fig14", fig14_summary),
+        ("sweepmp", sweep_multiplatform),
     ):
         registry.register(_spec_from_module(exp_id, module))
     return registry
@@ -233,5 +231,6 @@ REGISTRY = _build_default_registry()
 
 
 def default_registry() -> ExperimentRegistry:
-    """The process-wide registry of the paper's eleven experiments."""
+    """The process-wide registry: the paper's eleven experiments plus the
+    cross-platform sweep."""
     return REGISTRY

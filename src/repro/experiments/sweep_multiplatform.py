@@ -1,0 +1,59 @@
+"""Cross-platform design-space sweep: the paper's headline comparison.
+
+Figures 8–10 put CPU, heterogeneous CPU-GPU and RPAccel mappings of the
+same multi-stage design space on one quality/latency frontier.  This
+harness reproduces that comparison through :func:`repro.core.sweep.run_sweep`
+with ``platforms`` as a swept axis: one invocation evaluates every
+(platform, qps, pipeline) cell, memoizes quality per unique pipeline, and
+reports the combined cross-platform Pareto frontier, the best platform
+under the SLA, and per-row speedups over the CPU baseline.
+"""
+
+from __future__ import annotations
+
+from repro.core.sweep import SweepConfig, run_sweep
+from repro.experiments.common import ExperimentResult, criteo_quality_evaluator
+from repro.models.zoo import criteo_model_specs
+
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "Cross-platform design-space sweep (CPU vs GPU-CPU vs RPAccel)"
+PAPER_REF = "Figures 8-10"
+TAGS = ("sweep", "sweep-multiplatform", "design-space", "criteo")
+
+#: CPU first: it is the baseline every speedup column is measured against.
+PLATFORMS = ("cpu", "gpu-cpu", "rpaccel")
+QPS_POINTS = (100.0, 250.0)
+SLA_MS = 25.0
+POOL = 512
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    """One combined sweep over every (platform, qps, pipeline) cell."""
+    config = SweepConfig(
+        platforms=PLATFORMS,
+        qps=QPS_POINTS,
+        sla_ms=SLA_MS,
+        first_stage_items=(POOL,),
+        later_stage_items=(128,),
+        max_stages=2,
+        num_queries=400,
+        seed=seed,
+    )
+    outcome = run_sweep(criteo_quality_evaluator(POOL), criteo_model_specs(), config)
+    result = ExperimentResult(name="sweep_multiplatform")
+    for row in outcome.rows():
+        result.add(**row)
+    for qps in config.qps:
+        frontier = outcome.combined_frontier[qps]
+        result.note(
+            f"qps {qps:g}: combined frontier spans "
+            f"{len({e.platform for e in frontier})} platform(s), "
+            f"{len(frontier)} configuration(s)"
+        )
+    for line in outcome.summary_lines():
+        result.note(line)
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format_table())

@@ -28,9 +28,7 @@ def run(
     seed: int = 7,
 ) -> ExperimentResult:
     """Train each Pareto-optimal configuration and report its test error."""
-    dataset = CriteoSynthetic().build_dataset(
-        num_train=num_train, num_test=num_test, seed=seed
-    )
+    dataset = CriteoSynthetic().build_dataset(num_train=num_train, num_test=num_test, seed=seed)
     result = ExperimentResult(name="table1_pareto_models")
     for spec in criteo_model_specs():
         model = build_model(spec, dataset.table_sizes, num_dense=dataset.num_dense, seed=seed)

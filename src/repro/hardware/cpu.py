@@ -74,9 +74,7 @@ class CPUPerformanceModel:
         if macs_per_item <= 0:
             return cal.min_effective_flops
         frac = min(1.0, macs_per_item / cal.saturation_macs)
-        return cal.min_effective_flops + frac * (
-            cal.max_effective_flops - cal.min_effective_flops
-        )
+        return cal.min_effective_flops + frac * (cal.max_effective_flops - cal.min_effective_flops)
 
     def per_item_latency(self, cost: ModelCost) -> float:
         """Seconds to score one candidate item on one core."""

@@ -67,9 +67,7 @@ class GPUPerformanceModel:
         if macs_per_item <= 0:
             return cal.min_effective_flops
         frac = min(1.0, macs_per_item / cal.saturation_macs)
-        return cal.min_effective_flops + frac * (
-            cal.max_effective_flops - cal.min_effective_flops
-        )
+        return cal.min_effective_flops + frac * (cal.max_effective_flops - cal.min_effective_flops)
 
     def stage_latency(self, cost: ModelCost, num_items: int) -> float:
         """Seconds for the GPU to run one stage over ``num_items`` candidates."""

@@ -17,8 +17,7 @@ bottom/top MLP widths -- Table 1) are exposed through :class:`DLRMConfig`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -85,9 +84,7 @@ class DLRM(RecommendationModel):
         self.name = config.name
         rng = np.random.default_rng(config.seed)
         self.bottom = MLP(config.mlp_bottom, rng=rng, final_activation="relu")
-        self.embeddings = EmbeddingBagCollection(
-            config.table_sizes, config.embedding_dim, rng=rng
-        )
+        self.embeddings = EmbeddingBagCollection(config.table_sizes, config.embedding_dim, rng=rng)
         top_sizes = [config.top_input_width, *config.mlp_top, 1]
         self.top = MLP(top_sizes, rng=rng, final_activation="none")
         self._cache: dict[str, np.ndarray] | None = None
@@ -106,7 +103,8 @@ class DLRM(RecommendationModel):
         bottom_out = self.bottom.forward(dense)
         emb_out = self.embeddings.forward(sparse)
         batch = dense.shape[0]
-        vectors = np.concatenate([bottom_out[:, None, :], emb_out.reshape(batch, cfg.num_tables, cfg.embedding_dim)], axis=1)
+        emb_vectors = emb_out.reshape(batch, cfg.num_tables, cfg.embedding_dim)
+        vectors = np.concatenate([bottom_out[:, None, :], emb_vectors], axis=1)
         gram = np.einsum("bik,bjk->bij", vectors, vectors)
         iu, ju = np.triu_indices(cfg.num_tables + 1, k=1)
         interactions = gram[:, iu, ju]
@@ -130,9 +128,7 @@ class DLRM(RecommendationModel):
         grad_gram = np.zeros((batch, cfg.num_tables + 1, cfg.num_tables + 1))
         grad_gram[:, iu, ju] = grad_interactions
         # gram = V V^T, so dV = (G + G^T) V.
-        grad_vectors = np.einsum(
-            "bij,bjk->bik", grad_gram + grad_gram.transpose(0, 2, 1), vectors
-        )
+        grad_vectors = np.einsum("bij,bjk->bik", grad_gram + grad_gram.transpose(0, 2, 1), vectors)
         grad_bottom = grad_vectors[:, 0, :] + grad_bottom_direct
         grad_emb = grad_vectors[:, 1:, :].reshape(batch, cfg.num_tables * cfg.embedding_dim)
         self.bottom.backward(grad_bottom)
@@ -157,9 +153,7 @@ class DLRM(RecommendationModel):
             for i in range(len(cfg.mlp_bottom) - 1)
         )
         top_sizes = (cfg.top_input_width, *cfg.mlp_top, 1)
-        top_dims = tuple(
-            (top_sizes[i], top_sizes[i + 1]) for i in range(len(top_sizes) - 1)
-        )
+        top_dims = tuple((top_sizes[i], top_sizes[i + 1]) for i in range(len(top_sizes) - 1))
         return ModelCost(
             name=cfg.name,
             macs_per_item=macs,

@@ -140,9 +140,7 @@ class NeuMF(RecommendationModel):
         macs = (self.mlp.flops_per_sample() + self.head.flops_per_sample()) // 2
         macs += cfg.embedding_dim  # GMF element-wise product
         mlp_sizes = (2 * cfg.embedding_dim, *cfg.mlp_hidden)
-        layer_dims = tuple(
-            (mlp_sizes[i], mlp_sizes[i + 1]) for i in range(len(mlp_sizes) - 1)
-        )
+        layer_dims = tuple((mlp_sizes[i], mlp_sizes[i + 1]) for i in range(len(mlp_sizes) - 1))
         layer_dims = layer_dims + ((cfg.embedding_dim + cfg.mlp_hidden[-1], 1),)
         return ModelCost(
             name=cfg.name,

@@ -74,15 +74,12 @@ class ModelSpec:
                 (self.mlp_bottom[i], self.mlp_bottom[i + 1])
                 for i in range(len(self.mlp_bottom) - 1)
             )
-            top_sizes = (self.mlp_top[0] if self.mlp_top else self.embedding_dim, *self.mlp_top[1:], 1)
-            top = tuple(
-                (top_sizes[i], top_sizes[i + 1]) for i in range(len(top_sizes) - 1)
-            )
+            top_head = self.mlp_top[0] if self.mlp_top else self.embedding_dim
+            top_sizes = (top_head, *self.mlp_top[1:], 1)
+            top = tuple((top_sizes[i], top_sizes[i + 1]) for i in range(len(top_sizes) - 1))
             return bottom + top
         mlp_sizes = (2 * self.embedding_dim, *self.mlp_top)
-        layers = tuple(
-            (mlp_sizes[i], mlp_sizes[i + 1]) for i in range(len(mlp_sizes) - 1)
-        )
+        layers = tuple((mlp_sizes[i], mlp_sizes[i + 1]) for i in range(len(mlp_sizes) - 1))
         return layers + ((self.embedding_dim + self.mlp_top[-1], 1),)
 
 
@@ -179,9 +176,7 @@ def get_model_spec(name: str) -> ModelSpec:
     try:
         return MODEL_ZOO[name]
     except KeyError:
-        raise KeyError(
-            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}"
-        ) from None
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}") from None
 
 
 def criteo_model_specs() -> list[ModelSpec]:

@@ -110,9 +110,7 @@ class EmbeddingBagCollection(Layer):
             raise ValueError("at least one embedding table is required")
         rng = rng if rng is not None else np.random.default_rng(0)
         self.dim = dim
-        self.tables = [
-            EmbeddingTable(rows, dim, rng=rng, std=std) for rows in table_sizes
-        ]
+        self.tables = [EmbeddingTable(rows, dim, rng=rng, std=std) for rows in table_sizes]
 
     @property
     def num_tables(self) -> int:
@@ -124,9 +122,7 @@ class EmbeddingBagCollection(Layer):
             raise ValueError(
                 f"expected indices of shape (batch, {self.num_tables}), got {indices.shape}"
             )
-        outputs = [
-            table.forward(indices[:, t]) for t, table in enumerate(self.tables)
-        ]
+        outputs = [table.forward(indices[:, t]) for t, table in enumerate(self.tables)]
         return np.concatenate(outputs, axis=1)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -63,9 +63,7 @@ class Linear(Layer):
         init: str = "xavier",
     ) -> None:
         if in_features <= 0 or out_features <= 0:
-            raise ValueError(
-                f"layer dimensions must be positive, got {in_features}x{out_features}"
-            )
+            raise ValueError(f"layer dimensions must be positive, got {in_features}x{out_features}")
         rng = rng if rng is not None else np.random.default_rng(0)
         if init == "xavier":
             self.weight = xavier_uniform(rng, in_features, out_features)
@@ -88,9 +86,7 @@ class Linear(Layer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.in_features:
-            raise ValueError(
-                f"expected input of shape (batch, {self.in_features}), got {x.shape}"
-            )
+            raise ValueError(f"expected input of shape (batch, {self.in_features}), got {x.shape}")
         self._x = x
         return x @ self.weight + self.bias
 
@@ -206,14 +202,10 @@ class MLP(Layer):
 
     def flops_per_sample(self) -> int:
         """Total MLP FLOPs for one input row (ignores activation costs)."""
-        return sum(
-            layer.flops_per_sample() for layer in self.layers if isinstance(layer, Linear)
-        )
+        return sum(layer.flops_per_sample() for layer in self.layers if isinstance(layer, Linear))
 
     def num_parameters(self) -> int:
-        return sum(
-            layer.num_parameters() for layer in self.layers if isinstance(layer, Linear)
-        )
+        return sum(layer.num_parameters() for layer in self.layers if isinstance(layer, Linear))
 
     @property
     def in_features(self) -> int:

@@ -21,7 +21,8 @@ class BCEWithLogitsLoss:
         targets = np.asarray(targets, dtype=np.float64).reshape(-1)
         if logits.shape != targets.shape:
             raise ValueError(
-                f"logits and targets must have the same shape, got {logits.shape} vs {targets.shape}"
+                "logits and targets must have the same shape, "
+                f"got {logits.shape} vs {targets.shape}"
             )
         if targets.size and (targets.min() < 0 or targets.max() > 1):
             raise ValueError("targets must lie in [0, 1]")

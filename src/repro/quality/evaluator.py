@@ -51,9 +51,7 @@ class QualityEvaluator:
             return self._cache[key]
         total = 0.0
         for q_index, query in enumerate(self.queries):
-            rng = np.random.default_rng(
-                (self.seed, q_index, hash(key) & 0xFFFFFFFF)
-            )
+            rng = np.random.default_rng((self.seed, q_index, hash(key) & 0xFFFFFFFF))
             total += simulate_funnel(
                 query.relevance,
                 stages,
@@ -78,9 +76,7 @@ class QualityEvaluator:
         table: dict[tuple[str, int], float] = {}
         for model_name, noise in noise_levels.items():
             for num_items in item_counts:
-                table[(model_name, num_items)] = self.evaluate_single_stage(
-                    noise, num_items
-                )
+                table[(model_name, num_items)] = self.evaluate_single_stage(noise, num_items)
         return table
 
     def _cache_key(

@@ -71,9 +71,7 @@ class ServingSimulator:
         arrivals = np.cumsum(inter_arrival)
 
         # One min-heap of server-free times per stage.
-        server_free: list[list[float]] = [
-            [0.0] * stage.num_servers for stage in self.plan.stages
-        ]
+        server_free: list[list[float]] = [[0.0] * stage.num_servers for stage in self.plan.stages]
         for heap in server_free:
             heapq.heapify(heap)
 

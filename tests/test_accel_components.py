@@ -130,9 +130,7 @@ class TestEmbeddingCache:
 
     def test_partition_prefers_larger_tables(self):
         cache = MultiStageEmbeddingCache()
-        parts = cache.partition_static_cache(
-            [RM_SMALL.reference_cost(), RM_LARGE.reference_cost()]
-        )
+        parts = cache.partition_static_cache([RM_SMALL.reference_cost(), RM_LARGE.reference_cost()])
         assert parts[1].capacity_bytes > parts[0].capacity_bytes
 
     def test_explicit_frontend_fraction(self):
@@ -140,9 +138,7 @@ class TestEmbeddingCache:
         parts = cache.partition_static_cache(
             [RM_SMALL.reference_cost(), RM_LARGE.reference_cost()], frontend_fraction=0.25
         )
-        assert parts[0].capacity_bytes == pytest.approx(
-            0.25 * cache.config.static_bytes, rel=0.01
-        )
+        assert parts[0].capacity_bytes == pytest.approx(0.25 * cache.config.static_bytes, rel=0.01)
 
     def test_amat_between_sram_and_dram(self):
         cache = MultiStageEmbeddingCache()

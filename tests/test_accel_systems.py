@@ -88,9 +88,7 @@ class TestRPAccel:
         pipelined = rpaccel.plan_query(
             [SMALL, LARGE], [4096, 512], pipelined=True
         ).unloaded_latency()
-        serial = rpaccel.plan_query(
-            [SMALL, LARGE], [4096, 512], pipelined=False
-        ).unloaded_latency()
+        serial = rpaccel.plan_query([SMALL, LARGE], [4096, 512], pipelined=False).unloaded_latency()
         assert pipelined <= serial
 
     def test_reconfigurable_improves_throughput(self, rpaccel):

@@ -48,9 +48,7 @@ class TestRunErrors:
 class TestRun:
     def test_only_selection_and_artifacts(self, tmp_path, capsys):
         out_dir = tmp_path / "out"
-        code = cli.main(
-            ["run", "--only", "fig01,fig11", "--output-dir", str(out_dir), "--quiet"]
-        )
+        code = cli.main(["run", "--only", "fig01,fig11", "--output-dir", str(out_dir), "--quiet"])
         assert code == 0
         for name in ("fig01.json", "fig01.csv", "fig11.json", "fig11.csv"):
             assert (out_dir / name).exists()
@@ -70,10 +68,7 @@ class TestRun:
 
     def test_json_artifact_round_trips(self, tmp_path):
         out_dir = tmp_path / "out"
-        assert (
-            cli.main(["run", "--only", "fig01", "--output-dir", str(out_dir), "--quiet"])
-            == 0
-        )
+        assert (cli.main(["run", "--only", "fig01", "--output-dir", str(out_dir), "--quiet"]) == 0)
         payload = artifacts.load_result_json(out_dir / "fig01.json")
         rebuilt = artifacts.payload_to_result(payload)
         original = default_registry().get("fig01").execute()
@@ -118,9 +113,7 @@ class TestRun:
             assert code == 0
         manifests = [artifacts.load_manifest(d) for d in dirs]
         assert manifests[0]["seed"] == 7
-        assert artifacts.strip_timing(manifests[0]) == artifacts.strip_timing(
-            manifests[1]
-        )
+        assert artifacts.strip_timing(manifests[0]) == artifacts.strip_timing(manifests[1])
         for name in ("fig01.json", "fig11.json"):
             payloads = [artifacts.load_result_json(d / name) for d in dirs]
             assert _strip_wall_clock(payloads[0]) == _strip_wall_clock(payloads[1])
@@ -165,14 +158,79 @@ class TestSweep:
         assert code == 0
         manifest = artifacts.load_manifest(out_dir)
         assert manifest["command"] == "sweep"
-        assert manifest["config"]["platform"] == "rpaccel"
+        assert manifest["config"]["platforms"] == ["rpaccel"]
+        assert manifest["config"]["baseline_platform"] == "rpaccel"
         payload = artifacts.load_result_json(out_dir / "sweep.json")
         assert payload["rows"]
         row = payload["rows"][0]
-        for key in ("pipeline", "qps", "quality_ndcg", "p99_ms", "on_frontier"):
+        for key in (
+            "pipeline",
+            "qps",
+            "quality_ndcg",
+            "p99_ms",
+            "on_frontier",
+            "on_combined_frontier",
+            "speedup_vs_baseline",
+        ):
             assert key in row
         csv_rows = artifacts.read_csv_rows(out_dir / "sweep.csv")
         assert len(csv_rows) == len(payload["rows"])
+        # Per-platform breakdown + combined frontier artifacts exist too.
+        assert (out_dir / "sweep_rpaccel.json").exists()
+        assert (out_dir / "sweep_frontier.json").exists()
+
+    def test_sweep_multiplatform_combined_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "multi"
+        code = cli.main(
+            [
+                "sweep",
+                "--platform",
+                "cpu,rpaccel",
+                "--qps",
+                "100,250",
+                "--first-stage-items",
+                "512",
+                "--later-stage-items",
+                "128",
+                "--max-stages",
+                "2",
+                "--num-queries",
+                "300",
+                "--pool",
+                "512",
+                "--jobs",
+                "2",
+                "--output-dir",
+                str(out_dir),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        manifest = artifacts.load_manifest(out_dir)
+        assert manifest["config"]["platforms"] == ["cpu", "rpaccel"]
+        assert manifest["config"]["baseline_platform"] == "cpu"
+        assert manifest["config"]["jobs"] == 2
+        ids = [entry["id"] for entry in manifest["experiments"]]
+        assert ids == ["sweep", "sweep_cpu", "sweep_rpaccel", "sweep_frontier"]
+        combined = artifacts.load_result_json(out_dir / "sweep.json")
+        platforms = {row["platform"] for row in combined["rows"]}
+        assert platforms == {"cpu", "rpaccel"}
+        frontier = artifacts.load_result_json(out_dir / "sweep_frontier.json")
+        assert frontier["rows"]
+        for key in ("qps", "platform", "pipeline", "speedup_vs_baseline"):
+            assert key in frontier["rows"][0]
+        breakdown = artifacts.load_result_json(out_dir / "sweep_cpu.json")
+        assert {row["platform"] for row in breakdown["rows"]} == {"cpu"}
+
+    def test_sweep_platform_all_expands(self):
+        from repro.core.sweep import PLATFORMS
+
+        assert cli._parse_platforms("all") == PLATFORMS
+        assert cli._parse_platforms("cpu, gpu") == ("cpu", "gpu")
+
+    def test_sweep_rejects_unknown_platform(self, capsys):
+        assert cli.main(["sweep", "--platform", "cpu,fpga"]) == 2
+        assert "unknown platforms" in capsys.readouterr().err
 
     def test_sweep_rejects_bad_qps(self, capsys):
         assert cli.main(["sweep", "--qps", "abc"]) == 2
@@ -183,9 +241,7 @@ class TestSweep:
         assert "--first-stage-items" in capsys.readouterr().err
 
     def test_sweep_serve_k_is_a_flag(self, tmp_path, capsys):
-        code = cli.main(
-            self.SWEEP_ARGS + ["--serve-k", "32", "--output-dir", str(tmp_path)]
-        )
+        code = cli.main(self.SWEEP_ARGS + ["--serve-k", "32", "--output-dir", str(tmp_path)])
         assert code == 0
         assert artifacts.load_manifest(tmp_path)["config"]["serve_k"] == 32
 
@@ -213,9 +269,7 @@ class TestSweep:
         assert json.loads(text)["rows"][0]["p99_ms"] is None
 
     def test_sweep_rejects_empty_design_space(self, capsys):
-        code = cli.main(
-            ["sweep", "--first-stage-items", "8", "--later-stage-items", "8"]
-        )
+        code = cli.main(["sweep", "--first-stage-items", "8", "--later-stage-items", "8"])
         assert code == 2
         assert "no pipeline" in capsys.readouterr().err
 

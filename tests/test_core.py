@@ -1,6 +1,5 @@
 """Tests for the RecPipe core: pipelines, mapping, Pareto, scheduler."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -82,9 +81,7 @@ class TestEnumeration:
         assert all(c.stages[-1].model.name == "RMlarge" for c in configs)
 
     def test_item_ladders_strictly_decreasing(self):
-        configs = enumerate_pipelines(
-            criteo_model_specs(), [4096], [512, 1024, 2048], max_stages=3
-        )
+        configs = enumerate_pipelines(criteo_model_specs(), [4096], [512, 1024, 2048], max_stages=3)
         for config in configs:
             items = config.stage_items()
             assert all(a > b for a, b in zip(items, items[1:]))

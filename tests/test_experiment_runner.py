@@ -20,6 +20,7 @@ class TestRunner:
             "fig12",
             "fig13",
             "fig14",
+            "sweepmp",  # cross-platform sweep (Figures 8-10 comparison)
         }
         assert set(runner.EXPERIMENTS) == expected
 

@@ -116,9 +116,7 @@ class TestGPUModel:
         """GPUs serve one query at a time; 64 CPU cores sustain more load."""
         cpu = CPUPerformanceModel()
         cost = RM_LARGE.reference_cost()
-        assert gpu.stage_throughput_capacity(cost, 4096) < cpu.stage_throughput_capacity(
-            cost, 4096
-        )
+        assert gpu.stage_throughput_capacity(cost, 4096) < cpu.stage_throughput_capacity(cost, 4096)
 
     def test_memory_capacity_check(self, gpu):
         assert gpu.fits_in_memory(RM_LARGE.reference_cost())

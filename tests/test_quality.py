@@ -68,30 +68,20 @@ class TestFunnel:
 
     def test_zero_noise_full_pool_is_perfect(self):
         pool = self.graded_pool()
-        quality = simulate_funnel(
-            pool, [FunnelStage(0.0, pool.size)], np.random.default_rng(0)
-        )
+        quality = simulate_funnel(pool, [FunnelStage(0.0, pool.size)], np.random.default_rng(0))
         assert quality == pytest.approx(100.0)
 
     def test_quality_increases_with_items_ranked(self):
         pool = self.graded_pool()
         rng_seed = 7
-        q_small = simulate_funnel(
-            pool, [FunnelStage(0.1, 256)], np.random.default_rng(rng_seed)
-        )
-        q_large = simulate_funnel(
-            pool, [FunnelStage(0.1, 2048)], np.random.default_rng(rng_seed)
-        )
+        q_small = simulate_funnel(pool, [FunnelStage(0.1, 256)], np.random.default_rng(rng_seed))
+        q_large = simulate_funnel(pool, [FunnelStage(0.1, 2048)], np.random.default_rng(rng_seed))
         assert q_large > q_small
 
     def test_quality_decreases_with_noise(self):
         pool = self.graded_pool()
-        q_accurate = simulate_funnel(
-            pool, [FunnelStage(0.05, 2048)], np.random.default_rng(1)
-        )
-        q_noisy = simulate_funnel(
-            pool, [FunnelStage(0.8, 2048)], np.random.default_rng(1)
-        )
+        q_accurate = simulate_funnel(pool, [FunnelStage(0.05, 2048)], np.random.default_rng(1))
+        q_noisy = simulate_funnel(pool, [FunnelStage(0.8, 2048)], np.random.default_rng(1))
         assert q_accurate > q_noisy
 
     def test_two_stage_close_to_single_stage(self):
@@ -126,9 +116,7 @@ class TestFunnel:
     def test_sub_batching_degrades_gracefully(self):
         pool = self.graded_pool(4096)
         stages = [FunnelStage(0.25, 4096), FunnelStage(0.12, 512)]
-        exact = np.mean(
-            [simulate_funnel(pool, stages, np.random.default_rng(s)) for s in range(4)]
-        )
+        exact = np.mean([simulate_funnel(pool, stages, np.random.default_rng(s)) for s in range(4)])
         chunked = np.mean(
             [
                 simulate_funnel(pool, stages, np.random.default_rng(s), sub_batches=4)

@@ -23,6 +23,7 @@ ALL_IDS = [
     "fig12",
     "fig13",
     "fig14",
+    "sweepmp",
 ]
 
 
@@ -48,7 +49,7 @@ class TestDefaultRegistry:
     def test_covers_every_paper_artifact(self):
         registry = default_registry()
         assert registry.ids() == ALL_IDS
-        assert len(registry) == 11
+        assert len(registry) == 12
 
     def test_every_spec_has_metadata(self):
         for spec in default_registry():

@@ -1,0 +1,199 @@
+"""Tests for multi-platform design-space sweeps (``repro.core.sweep``)."""
+
+import pytest
+
+from repro.core.sweep import PLATFORMS, SweepConfig, run_sweep
+from repro.data import CriteoConfig, CriteoSynthetic
+from repro.models.zoo import criteo_model_specs
+from repro.quality import QualityEvaluator
+
+
+class CountingEvaluator(QualityEvaluator):
+    """QualityEvaluator that counts every ``evaluate`` invocation."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = 0
+
+    def evaluate(self, stages, sub_batches=1):
+        self.calls += 1
+        return super().evaluate(stages, sub_batches=sub_batches)
+
+
+def make_evaluator(cls=QualityEvaluator, pool=512):
+    queries = CriteoSynthetic(CriteoConfig(table_size=400)).sample_ranking_queries(
+        3, candidates_per_query=pool
+    )
+    return cls(queries)
+
+
+SMALL_GRID = dict(
+    first_stage_items=(512,),
+    later_stage_items=(128,),
+    max_stages=2,
+    num_queries=300,
+)
+
+
+@pytest.fixture(scope="module")
+def multi_outcome():
+    config = SweepConfig(platforms=("cpu", "gpu-cpu", "rpaccel"), qps=(250.0, 500.0), **SMALL_GRID)
+    return run_sweep(make_evaluator(), criteo_model_specs(), config)
+
+
+class TestSweepConfig:
+    def test_platforms_is_a_swept_axis(self):
+        config = SweepConfig(platforms=("cpu", "gpu"))
+        assert config.platforms == ("cpu", "gpu")
+        assert config.baseline_platform == "cpu"
+        assert config.cells() == [("cpu", 500.0), ("gpu", 500.0)]
+
+    def test_single_platform_string_normalized(self):
+        assert SweepConfig(platforms="rpaccel").platforms == ("rpaccel",)
+
+    def test_duplicate_platforms_deduped_order_preserved(self):
+        config = SweepConfig(platforms=("gpu", "cpu", "gpu"))
+        assert config.platforms == ("gpu", "cpu")
+        assert config.baseline_platform == "gpu"
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError, match="unknown platforms"):
+            SweepConfig(platforms=("cpu", "fpga"))
+
+    def test_empty_platforms_rejected(self):
+        with pytest.raises(ValueError):
+            SweepConfig(platforms=())
+
+    def test_all_known_platforms_accepted(self):
+        assert SweepConfig(platforms=PLATFORMS).platforms == PLATFORMS
+
+
+class TestQualityMemoization:
+    def test_quality_evaluated_once_per_unique_pipeline(self):
+        """The memoization contract: #evaluator calls == #unique pipelines,
+        no matter how many platforms and qps points the grid has."""
+        evaluator = make_evaluator(CountingEvaluator)
+        config = SweepConfig(
+            platforms=("cpu", "gpu-cpu", "rpaccel"), qps=(100.0, 250.0), **SMALL_GRID
+        )
+        outcome = run_sweep(evaluator, criteo_model_specs(), config)
+        assert evaluator.calls == len(outcome.pipelines)
+        assert len(config.cells()) == 6  # the grid is genuinely larger
+
+    def test_quality_identical_across_platforms_and_loads(self, multi_outcome):
+        for rows in multi_outcome.evaluated.values():
+            for e in rows:
+                memoized = multi_outcome.quality_by_pipeline[e.pipeline.name]
+                assert e.quality == memoized
+
+    def test_quality_map_covers_every_pipeline(self, multi_outcome):
+        names = {p.name for p in multi_outcome.pipelines}
+        assert set(multi_outcome.quality_by_pipeline) == names
+
+
+class TestCrossPlatformCrossSections:
+    def test_every_cell_evaluated(self, multi_outcome):
+        config = multi_outcome.config
+        assert set(multi_outcome.evaluated) == set(config.cells())
+        for evaluated in multi_outcome.evaluated.values():
+            assert len(evaluated) == len(multi_outcome.pipelines)
+
+    def test_combined_frontier_pools_all_platforms(self, multi_outcome):
+        for qps in multi_outcome.config.qps:
+            combined = multi_outcome.combined_frontier[qps]
+            assert combined
+            per_platform_best = {
+                e.p99_latency
+                for platform in multi_outcome.config.platforms
+                for e in multi_outcome.frontier[(platform, qps)]
+            }
+            # Every combined-frontier member is at least as fast as the
+            # slowest per-platform frontier point of equal-or-lower quality.
+            assert min(e.p99_latency for e in combined) == min(per_platform_best)
+
+    def test_combined_frontier_not_dominated(self, multi_outcome):
+        for qps in multi_outcome.config.qps:
+            combined = multi_outcome.combined_frontier[qps]
+            for a in combined:
+                for b in combined:
+                    dominates = (
+                        b.quality >= a.quality
+                        and b.p99_latency <= a.p99_latency
+                        and (b.quality > a.quality or b.p99_latency < a.p99_latency)
+                    )
+                    assert not dominates
+
+    def test_best_platform_under_sla_prefers_fast_platform_on_quality_tie(
+        self, multi_outcome
+    ):
+        for qps in multi_outcome.config.qps:
+            best = multi_outcome.best_platform_under_sla[qps]
+            assert best is not None
+            sla = multi_outcome.config.sla_seconds
+            pooled = [
+                e
+                for rows in (
+                    multi_outcome.evaluated[(p, qps)]
+                    for p in multi_outcome.config.platforms
+                )
+                for e in rows
+                if e.feasible and e.p99_latency <= sla
+            ]
+            top_quality = max(e.quality for e in pooled)
+            assert best.quality == top_quality
+            ties = [e for e in pooled if e.quality == top_quality]
+            assert best.p99_latency == min(e.p99_latency for e in ties)
+
+    def test_speedup_vs_baseline(self, multi_outcome):
+        rows = multi_outcome.rows()
+        baseline = multi_outcome.config.baseline_platform
+        for row in rows:
+            if row["platform"] == baseline and not row["saturated"]:
+                assert row["speedup_vs_baseline"] == pytest.approx(1.0)
+            if row["saturated"]:
+                assert row["speedup_vs_baseline"] is None
+        # rpaccel is faster than the CPU baseline on this workload.
+        rp = [
+            r
+            for r in rows
+            if r["platform"] == "rpaccel" and r["speedup_vs_baseline"] is not None
+        ]
+        assert rp and all(r["speedup_vs_baseline"] > 1.0 for r in rp)
+
+    def test_rows_cover_the_full_grid(self, multi_outcome):
+        rows = multi_outcome.rows()
+        config = multi_outcome.config
+        expected = len(config.platforms) * len(config.qps) * len(multi_outcome.pipelines)
+        assert len(rows) == expected
+        for key in ("speedup_vs_baseline", "on_combined_frontier",
+                    "best_platform_under_sla"):
+            assert all(key in row for row in rows)
+
+    def test_platform_rows_filter(self, multi_outcome):
+        cpu_rows = multi_outcome.platform_rows("cpu")
+        assert cpu_rows
+        assert all(row["platform"] == "cpu" for row in cpu_rows)
+
+    def test_frontier_rows_sorted_by_latency_per_load(self, multi_outcome):
+        rows = multi_outcome.frontier_rows()
+        assert rows
+        for qps in multi_outcome.config.qps:
+            latencies = [r["p99_ms"] for r in rows if r["qps"] == qps]
+            assert latencies == sorted(latencies)
+            assert len(latencies) == len(multi_outcome.combined_frontier[qps])
+
+
+class TestParallelSweep:
+    def test_jobs_match_serial_results(self):
+        config = SweepConfig(platforms=("cpu", "rpaccel"), qps=(250.0,), **SMALL_GRID)
+        serial = run_sweep(make_evaluator(), criteo_model_specs(), config, jobs=1)
+        parallel = run_sweep(make_evaluator(), criteo_model_specs(), config, jobs=2)
+        assert serial.rows() == parallel.rows()
+        assert serial.frontier_rows() == parallel.frontier_rows()
+
+    def test_parallel_workers_reuse_parent_quality_memo(self):
+        evaluator = make_evaluator(CountingEvaluator)
+        config = SweepConfig(platforms=("cpu", "rpaccel"), qps=(250.0,), **SMALL_GRID)
+        outcome = run_sweep(evaluator, criteo_model_specs(), config, jobs=2)
+        # Workers receive the memo; only the parent evaluates quality.
+        assert evaluator.calls == len(outcome.pipelines)
