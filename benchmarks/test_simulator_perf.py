@@ -1,0 +1,31 @@
+"""Benchmark: closed-form analytic engine vs the discrete-event reference.
+
+Records the perf trajectory (wall-clock, cells/sec, speedup per plan, plus
+the end-to-end ``--platform all`` sweep ratio) to ``BENCH_simulator.json``
+so future PRs can regress against it.  The acceptance floors mirror
+``ISSUE``: >=10x on the engine kernels, >=5x on the full multi-platform
+sweep, with the engines agreeing to 1e-9.
+"""
+
+from conftest import report
+
+from repro.experiments import bench_simulator
+
+
+def test_simulator_engine_speedup(benchmark):
+    result = benchmark.pedantic(bench_simulator.run, rounds=1, iterations=1, warmup_rounds=0)
+    report(result)
+    assert bench_simulator.bench_path().exists()
+
+    engine_rows = [row for row in result.rows if row.get("max_p99_abs_diff") is not None]
+    assert {row["num_stages"] for row in engine_rows} == {1, 2, 3}
+    # The engines agree on every plan; the closed form is far faster.
+    for row in engine_rows:
+        assert row["max_p99_abs_diff"] <= 1e-9
+        assert row["analytic_cells_per_second"] > row["event_cells_per_second"]
+    three_stage = next(row for row in engine_rows if row["num_stages"] == 3)
+    assert three_stage["speedup"] >= 10.0
+
+    # End-to-end `recpipe sweep --platform all`-shaped run: >=5x wall-clock.
+    sweep_row = next(row for row in result.rows if row.get("max_p99_abs_diff") is None)
+    assert sweep_row["speedup"] >= 5.0

@@ -118,7 +118,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="evaluate (platform, qps) cells in N parallel processes",
+        help="evaluate (platform, pipeline) columns in N parallel processes",
+    )
+    sweep_parser.add_argument(
+        "--engine",
+        default="analytic",
+        choices=("analytic", "event"),
+        help=(
+            "simulation engine: 'analytic' (closed-form, vectorized, default) "
+            "or 'event' (discrete-event reference)"
+        ),
     )
     sweep_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     sweep_parser.add_argument(
@@ -302,6 +311,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         num_queries=args.num_queries,
         seed=args.seed,
         num_tables=num_tables,
+        engine=args.engine,
     )
     start = time.perf_counter()
     outcome = run_sweep(evaluator, specs, config, jobs=args.jobs)
@@ -352,6 +362,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "num_queries": config.num_queries,
             "pool": pool,
             "jobs": args.jobs,
+            "engine": config.engine,
         }
         entries = artifacts.write_sweep_artifacts(
             Path(args.output_dir),

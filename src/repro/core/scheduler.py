@@ -17,7 +17,7 @@ tail-latency SLA.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro.core.mapping import (
@@ -126,26 +126,64 @@ class RecPipeScheduler:
         pipeline (see :meth:`quality_map`) and pass it via ``quality`` to
         skip the evaluator entirely.
         """
-        if quality is None:
-            quality = self.evaluator.evaluate(pipeline.funnel_stages(), sub_batches=sub_batches)
-        plan = self.plan_for(pipeline, platform, devices=devices, **accel_kwargs)
-        simulator = ServingSimulator(plan, self.simulation)
-        capacity = plan.throughput_capacity()
-        saturated = plan.utilization(qps) >= self.simulation.saturation_utilization
-        if saturated:
-            p99 = float("inf")
-        else:
-            p99 = simulator.run(qps).p99_latency
-        return EvaluatedConfig(
-            pipeline=pipeline,
-            platform=platform,
+        return self.evaluate_grid(
+            pipeline,
+            platform,
+            (qps,),
+            devices=devices,
+            sub_batches=sub_batches,
             quality=quality,
-            p99_latency=p99,
-            unloaded_latency=plan.unloaded_latency(),
-            throughput_capacity=capacity,
-            offered_qps=qps,
-            saturated=saturated,
+            **accel_kwargs,
+        )[0]
+
+    def evaluate_grid(
+        self,
+        pipeline: PipelineConfig,
+        platform: str,
+        qps_values: Sequence[float],
+        devices: Sequence[str] | None = None,
+        sub_batches: int = 1,
+        quality: float | None = None,
+        seed: int | None = None,
+        **accel_kwargs,
+    ) -> list[EvaluatedConfig]:
+        """Evaluate one (pipeline, platform) column across every offered load.
+
+        The plan is constructed once and every non-saturated QPS point is
+        simulated in one batched call (one arrival draw, one vectorized
+        kernel pass on the analytic engine).  Saturated loads are not
+        simulated -- they report infinite tail latency, as in the paper's
+        greyed-out cells.  ``seed`` overrides the simulation seed for this
+        column (see :func:`repro.core.sweep.run_sweep`'s per-cell seeds).
+        """
+        quality_value = (
+            self.evaluator.evaluate(pipeline.funnel_stages(), sub_batches=sub_batches)
+            if quality is None
+            else quality
         )
+        plan = self.plan_for(pipeline, platform, devices=devices, **accel_kwargs)
+        sim_cfg = self.simulation if seed is None else replace(self.simulation, seed=seed)
+        capacity = plan.throughput_capacity()
+        unloaded = plan.unloaded_latency()
+        qps_list = [float(qps) for qps in qps_values]
+        saturated = [
+            plan.utilization(qps) >= sim_cfg.saturation_utilization for qps in qps_list
+        ]
+        live = [qps for qps, sat in zip(qps_list, saturated) if not sat]
+        reports = iter(ServingSimulator(plan, sim_cfg).run_grid(live) if live else ())
+        return [
+            EvaluatedConfig(
+                pipeline=pipeline,
+                platform=platform,
+                quality=quality_value,
+                p99_latency=float("inf") if sat else next(reports).p99_latency,
+                unloaded_latency=unloaded,
+                throughput_capacity=capacity,
+                offered_qps=qps,
+                saturated=sat,
+            )
+            for qps, sat in zip(qps_list, saturated)
+        ]
 
     def evaluate_many(
         self,

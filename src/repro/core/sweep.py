@@ -13,8 +13,18 @@ pipeline) cell in one invocation, the way the paper's headline comparison
 (Figures 8–10) puts CPU, GPU, heterogeneous CPU-GPU and RPAccel on one
 frontier.  Quality is load- and platform-independent, so it is evaluated
 once per unique pipeline (:meth:`RecPipeScheduler.quality_map`) and reused
-across all cells; the per-cell performance simulations can fan out over a
-process pool (``jobs``).
+across all cells.
+
+Performance simulation is batched by *column*: each (platform, pipeline)
+pair builds its :class:`~repro.serving.resources.PipelinePlan` once and
+simulates all of its QPS cells in one vectorized
+:meth:`RecPipeScheduler.evaluate_grid` call (the closed-form engine from
+:mod:`repro.serving.engine`; ``engine="event"`` keeps the discrete-event
+reference).  With ``jobs > 1`` the columns fan out over a process pool.
+Every column gets its own arrival-noise seed, derived deterministically
+from ``SweepConfig.seed`` via :class:`np.random.SeedSequence` spawning, so
+cells do not share correlated arrival noise while the same sweep config
+still reproduces the same numbers.
 
 The outcome carries the raw :class:`~repro.core.scheduler.EvaluatedConfig`
 records plus per-platform cross-sections (Pareto frontier, best-under-SLA,
@@ -31,11 +41,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.mapping import HardwarePool
 from repro.core.pipeline import PipelineConfig, enumerate_pipelines
 from repro.core.scheduler import EvaluatedConfig, RecPipeScheduler
 from repro.models.zoo import ModelSpec
 from repro.quality.evaluator import QualityEvaluator
+from repro.serving.engine import ENGINES
 from repro.serving.simulator import SimulationConfig
 
 PLATFORMS = ("cpu", "gpu", "gpu-cpu", "baseline-accel", "rpaccel")
@@ -59,6 +72,7 @@ class SweepConfig:
     num_queries: int = 1500
     seed: int = 0
     num_tables: int = 26
+    engine: str = "analytic"
 
     def __post_init__(self) -> None:
         platforms = self.platforms
@@ -73,10 +87,15 @@ class SweepConfig:
             raise ValueError(f"unknown platforms {unknown}; expected a subset of {PLATFORMS}")
         if not self.qps or any(q <= 0 for q in self.qps):
             raise ValueError(f"qps points must be positive, got {self.qps}")
+        # Dedup like platforms: a repeated load would double-count every
+        # pipeline in its (platform, qps) cell when columns are transposed.
+        object.__setattr__(self, "qps", tuple(dict.fromkeys(self.qps)))
         if self.sla_ms <= 0:
             raise ValueError("sla_ms must be positive")
         if self.max_stages <= 0:
             raise ValueError("max_stages must be positive")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
 
     @property
     def sla_seconds(self) -> float:
@@ -299,15 +318,43 @@ class SweepOutcome:
         return lines
 
 
-def _evaluate_cell(
+def column_seeds(
+    config: SweepConfig, pipelines: Sequence[PipelineConfig]
+) -> dict[tuple[str, str], int]:
+    """One arrival-noise seed per (platform, pipeline) column, spawned from
+    ``config.seed``.
+
+    :meth:`np.random.SeedSequence.spawn` guarantees statistically independent
+    streams per column (cells no longer share correlated arrival noise) while
+    staying fully deterministic: the same sweep config always derives the
+    same seeds.  Each child is collapsed to a 128-bit integer seed (wide
+    enough that column collisions are out of the question) so seeds stay
+    hashable, comparable and cheap to ship to worker processes.  Within a
+    column, the draw is deliberately shared across the QPS axis (common
+    random numbers make load curves smooth and let
+    :func:`repro.serving.engine.simulate_grid` batch the whole column).
+    """
+    children = np.random.SeedSequence(config.seed).spawn(len(config.platforms) * len(pipelines))
+    spawned = iter(children)
+    return {
+        (platform, pipeline.name): int.from_bytes(
+            next(spawned).generate_state(4, np.uint32).tobytes(), "little"
+        )
+        for platform in config.platforms
+        for pipeline in pipelines
+    }
+
+
+def _evaluate_column(
     scheduler: RecPipeScheduler,
-    pipelines: Sequence[PipelineConfig],
+    pipeline: PipelineConfig,
     platform: str,
-    qps: float,
-    qualities: dict[str, float],
+    qps_values: Sequence[float],
+    quality: float | None,
+    seed: int,
 ) -> list[EvaluatedConfig]:
-    """Performance-evaluate one (platform, qps) cell."""
-    return scheduler.evaluate_many(pipelines, platform, qps, qualities=qualities)
+    """Performance-evaluate one (platform, pipeline) column across all loads."""
+    return scheduler.evaluate_grid(pipeline, platform, qps_values, quality=quality, seed=seed)
 
 
 #: Per-worker sweep state installed by :func:`_init_worker`.
@@ -318,17 +365,27 @@ def _init_worker(
     scheduler: RecPipeScheduler,
     pipelines: Sequence[PipelineConfig],
     qualities: dict[str, float],
+    qps_values: Sequence[float],
+    seeds: dict[tuple[str, str], int],
 ) -> None:
     """Ship the scheduler (with its query workload) and the quality memo to a
-    worker once, instead of re-pickling them with every (platform, qps) task.
-    Workers never re-run the quality simulation — the memo travels with them.
+    worker once, instead of re-pickling them with every column task.  Workers
+    never re-run the quality simulation — the memo travels with them.
     """
-    _WORKER_STATE["sweep"] = (scheduler, pipelines, qualities)
+    _WORKER_STATE["sweep"] = (scheduler, pipelines, qualities, qps_values, seeds)
 
 
-def _evaluate_cell_in_worker(platform: str, qps: float) -> list[EvaluatedConfig]:
-    scheduler, pipelines, qualities = _WORKER_STATE["sweep"]
-    return _evaluate_cell(scheduler, pipelines, platform, qps, qualities)
+def _evaluate_column_in_worker(platform: str, pipeline_index: int) -> list[EvaluatedConfig]:
+    scheduler, pipelines, qualities, qps_values, seeds = _WORKER_STATE["sweep"]
+    pipeline = pipelines[pipeline_index]
+    return _evaluate_column(
+        scheduler,
+        pipeline,
+        platform,
+        qps_values,
+        qualities.get(pipeline.name),
+        seeds[(platform, pipeline.name)],
+    )
 
 
 def run_sweep(
@@ -341,8 +398,11 @@ def run_sweep(
     """Enumerate, evaluate and cross-section the design space of ``config``.
 
     Quality is evaluated once per unique pipeline and shared across every
-    (platform, qps) cell; with ``jobs > 1`` the per-cell performance
-    simulations run in up to ``jobs`` worker processes.
+    (platform, qps) cell.  Performance is simulated per (platform, pipeline)
+    column: the plan is built once and every QPS cell of the column runs in
+    one vectorized call (:meth:`RecPipeScheduler.evaluate_grid`), each column
+    seeded independently via :func:`column_seeds`.  With ``jobs > 1`` the
+    columns run in up to ``jobs`` worker processes.
     """
     pipelines = enumerate_pipelines(
         model_specs,
@@ -360,30 +420,48 @@ def run_sweep(
     scheduler = RecPipeScheduler(
         evaluator,
         hardware=hardware if hardware is not None else HardwarePool(),
-        simulation=SimulationConfig.with_budget(config.num_queries, seed=config.seed),
+        simulation=SimulationConfig.with_budget(
+            config.num_queries, seed=config.seed, engine=config.engine
+        ),
         num_tables=config.num_tables,
     )
     # Quality depends only on the funnel, so hoist it out of the grid: one
     # evaluation per unique pipeline, reused by every (platform, qps) cell
     # (and shipped to worker processes instead of recomputed there).
     qualities = scheduler.quality_map(pipelines)
-    cells = config.cells()
-    if jobs <= 1 or len(cells) <= 1:
-        evaluated_cells = {
-            cell: _evaluate_cell(scheduler, pipelines, cell[0], cell[1], qualities)
-            for cell in cells
+    seeds = column_seeds(config, pipelines)
+    columns = [
+        (platform, index) for platform in config.platforms for index in range(len(pipelines))
+    ]
+    if jobs <= 1 or len(columns) <= 1:
+        evaluated_columns = {
+            (platform, index): _evaluate_column(
+                scheduler,
+                pipelines[index],
+                platform,
+                config.qps,
+                qualities.get(pipelines[index].name),
+                seeds[(platform, pipelines[index].name)],
+            )
+            for platform, index in columns
         }
     else:
         with ProcessPoolExecutor(
-            max_workers=min(jobs, len(cells)),
+            max_workers=min(jobs, len(columns)),
             initializer=_init_worker,
-            initargs=(scheduler, pipelines, qualities),
+            initargs=(scheduler, pipelines, qualities, config.qps, seeds),
         ) as pool:
             futures = {
-                cell: pool.submit(_evaluate_cell_in_worker, cell[0], cell[1])
-                for cell in cells
+                column: pool.submit(_evaluate_column_in_worker, *column) for column in columns
             }
-            evaluated_cells = {cell: future.result() for cell, future in futures.items()}
+            evaluated_columns = {column: future.result() for column, future in futures.items()}
+
+    # Transpose columns back into the (platform, qps) cells the
+    # cross-sections consume, preserving pipeline enumeration order.
+    evaluated_cells: dict[Cell, list[EvaluatedConfig]] = {cell: [] for cell in config.cells()}
+    for platform, index in columns:
+        for position, qps in enumerate(config.qps):
+            evaluated_cells[(platform, qps)].append(evaluated_columns[(platform, index)][position])
 
     outcome = SweepOutcome(config=config, pipelines=pipelines, quality_by_pipeline=qualities)
     for cell, evaluated in evaluated_cells.items():

@@ -1,0 +1,215 @@
+"""Serving-simulator engine benchmark: event-loop reference vs closed form.
+
+Two measurements back the sweep-scale performance claims:
+
+* **engine kernels** -- one :class:`~repro.serving.resources.PipelinePlan`
+  per stage count, simulated across a QPS column by the discrete-event
+  reference and by the closed-form analytic engine
+  (:mod:`repro.serving.engine`), reporting wall-clock, cells/sec, the
+  speedup, and the maximum p99 divergence between the engines;
+* **end-to-end sweep** -- one ``recpipe sweep --platform all``-shaped
+  :func:`repro.core.sweep.run_sweep` invocation per engine, reporting the
+  wall-clock ratio of the full sweep (quality memoization and cross-sections
+  included).
+
+Both the ``bench-sim`` registry entry and ``benchmarks/test_simulator_perf.py``
+funnel through :func:`measure` and record the payload to
+``BENCH_simulator.json`` (:func:`write_bench`), giving future PRs a perf
+trajectory to regress against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as platform_module
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.sweep import PLATFORMS, SweepConfig, run_sweep
+from repro.data import CriteoConfig, CriteoSynthetic
+from repro.experiments.common import ExperimentResult
+from repro.models.zoo import criteo_model_specs
+from repro.quality import QualityEvaluator
+from repro.serving.resources import PipelinePlan, StageResource
+from repro.serving.simulator import ServingSimulator, SimulationConfig
+
+#: Spec metadata consumed by :mod:`repro.experiments.registry`.
+TITLE = "Serving-simulator engine benchmark (event vs analytic)"
+PAPER_REF = "Figures 7-10 methodology (simulation cost)"
+TAGS = ("bench", "serving", "perf")
+
+#: Where the perf trajectory lands (CI uploads this as an artifact); override
+#: with the ``RECPIPE_BENCH_PATH`` environment variable.
+BENCH_PATH = Path("BENCH_simulator.json")
+
+
+def bench_path() -> Path:
+    """The trajectory destination, honouring ``RECPIPE_BENCH_PATH``."""
+    return Path(os.environ.get("RECPIPE_BENCH_PATH", BENCH_PATH))
+
+#: QPS column every engine kernel is timed over.
+QPS_GRID = (200.0, 400.0, 800.0, 1200.0, 1600.0, 2000.0)
+
+
+def reference_plan(num_stages: int = 3) -> PipelinePlan:
+    """A Criteo-funnel-shaped plan: wide cheap frontend, narrow heavy backend."""
+    stages = [
+        StageResource(name="frontend", num_servers=8, service_seconds=0.8e-3),
+        StageResource(
+            name="middle",
+            num_servers=4,
+            service_seconds=1.2e-3,
+            forward_fraction=0.25,
+            transfer_seconds=5e-5,
+        ),
+        StageResource(
+            name="backend",
+            num_servers=2,
+            service_seconds=0.9e-3,
+            forward_fraction=0.5,
+            transfer_seconds=5e-5,
+        ),
+    ][:num_stages]
+    return PipelinePlan(platform="bench", stages=stages, description=f"{num_stages}-stage bench")
+
+
+def _time_column(plan: PipelinePlan, config: SimulationConfig, repeats: int) -> tuple[float, list]:
+    """Best-of-``repeats`` wall-clock of one full QPS column, plus the reports."""
+    simulator = ServingSimulator(plan, config)
+    best = float("inf")
+    reports = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        reports = simulator.run_grid(QPS_GRID)
+        best = min(best, time.perf_counter() - start)
+    return best, reports
+
+
+def measure_engines(
+    num_queries: int = 4000, repeats: int = 3, seed: int = 0
+) -> list[dict]:
+    """Per-plan engine comparison: wall-clock, cells/sec, speedup, divergence."""
+    rows = []
+    for num_stages in (1, 2, 3):
+        plan = reference_plan(num_stages)
+        event_cfg = SimulationConfig.with_budget(num_queries, seed=seed, engine="event")
+        analytic_cfg = replace(event_cfg, engine="analytic")
+        event_seconds, event_reports = _time_column(plan, event_cfg, repeats)
+        analytic_seconds, analytic_reports = _time_column(plan, analytic_cfg, repeats)
+        divergence = max(
+            abs(e.p99_latency - a.p99_latency)
+            for e, a in zip(event_reports, analytic_reports)
+        )
+        rows.append(
+            {
+                "plan": plan.description,
+                "num_stages": num_stages,
+                "num_queries": num_queries,
+                "qps_points": len(QPS_GRID),
+                "event_seconds": event_seconds,
+                "analytic_seconds": analytic_seconds,
+                "speedup": event_seconds / analytic_seconds,
+                "event_cells_per_second": len(QPS_GRID) / event_seconds,
+                "analytic_cells_per_second": len(QPS_GRID) / analytic_seconds,
+                "max_p99_abs_diff": divergence,
+            }
+        )
+    return rows
+
+
+def _bench_evaluator(pool: int = 256) -> QualityEvaluator:
+    """A tiny quality workload so the sweep timing is simulation-dominated."""
+    queries = CriteoSynthetic(CriteoConfig(table_size=400)).sample_ranking_queries(
+        2, candidates_per_query=pool
+    )
+    return QualityEvaluator(queries)
+
+
+def measure_sweep(num_queries: int = 4000, seed: int = 0) -> dict:
+    """Wall-clock of one ``--platform all`` sweep per engine, end to end."""
+    timings = {}
+    cells = None
+    for engine in ("event", "analytic"):
+        config = SweepConfig(
+            platforms=PLATFORMS,
+            qps=(100.0, 200.0, 400.0, 800.0, 1200.0, 1600.0, 2000.0, 2500.0),
+            first_stage_items=(2048,),
+            later_stage_items=(128, 512),
+            max_stages=2,
+            num_queries=num_queries,
+            seed=seed,
+            engine=engine,
+        )
+        start = time.perf_counter()
+        outcome = run_sweep(_bench_evaluator(), criteo_model_specs(), config)
+        timings[engine] = time.perf_counter() - start
+        cells = len(config.cells()) * len(outcome.pipelines)
+    return {
+        "platforms": list(PLATFORMS),
+        "num_queries": num_queries,
+        "grid_cells": cells,
+        "event_seconds": timings["event"],
+        "analytic_seconds": timings["analytic"],
+        "speedup": timings["event"] / timings["analytic"],
+        "event_cells_per_second": cells / timings["event"],
+        "analytic_cells_per_second": cells / timings["analytic"],
+    }
+
+
+def measure(num_queries: int = 4000, repeats: int = 3, seed: int = 0) -> dict:
+    """The full benchmark payload recorded to :data:`BENCH_PATH`."""
+    return {
+        "benchmark": "simulator_engines",
+        "python": platform_module.python_version(),
+        "numpy": np.__version__,
+        "repeats": repeats,
+        "engines": measure_engines(num_queries=num_queries, repeats=repeats, seed=seed),
+        "sweep": measure_sweep(num_queries=num_queries, seed=seed),
+    }
+
+
+def write_bench(payload: dict, path: Path | None = None) -> Path:
+    path = bench_path() if path is None else Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    """Registry entry point: measure, record the trajectory, report rows.
+
+    Besides the registry's usual JSON/CSV artifacts, the payload is written
+    to :func:`bench_path` (cwd-relative ``BENCH_simulator.json`` unless
+    ``RECPIPE_BENCH_PATH`` redirects it) so CI and the repo keep a
+    commit-over-commit perf trajectory.
+    """
+    payload = measure(seed=seed)
+    path = write_bench(payload)
+    result = ExperimentResult(name="bench_simulator")
+    for row in payload["engines"]:
+        result.add(**row)
+    sweep = payload["sweep"]
+    result.add(
+        plan=f"sweep --platform all ({sweep['grid_cells']} cells)",
+        num_stages=2,
+        num_queries=sweep["num_queries"],
+        qps_points=8,
+        event_seconds=sweep["event_seconds"],
+        analytic_seconds=sweep["analytic_seconds"],
+        speedup=sweep["speedup"],
+        event_cells_per_second=sweep["event_cells_per_second"],
+        analytic_cells_per_second=sweep["analytic_cells_per_second"],
+    )
+    result.note(f"perf trajectory recorded to {path}")
+    result.note(
+        f"3-stage column: {payload['engines'][-1]['speedup']:.1f}x; "
+        f"full multi-platform sweep: {sweep['speedup']:.1f}x"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format_table())

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
 
 from repro.experiments import (
+    bench_simulator,
     fig01_motivation,
     fig03_quality,
     fig05_ablation,
@@ -221,6 +222,7 @@ def _build_default_registry() -> ExperimentRegistry:
         ("fig13", fig13_future),
         ("fig14", fig14_summary),
         ("sweepmp", sweep_multiplatform),
+        ("bench-sim", bench_simulator),
     ):
         registry.register(_spec_from_module(exp_id, module))
     return registry
@@ -231,6 +233,6 @@ REGISTRY = _build_default_registry()
 
 
 def default_registry() -> ExperimentRegistry:
-    """The process-wide registry: the paper's eleven experiments plus the
-    cross-platform sweep."""
+    """The process-wide registry: the paper's eleven experiments, the
+    cross-platform sweep, and the simulator engine benchmark."""
     return REGISTRY

@@ -8,22 +8,40 @@ tail latency and sustained throughput.  This package provides
 * :class:`~repro.serving.resources.StageResource` /
   :class:`~repro.serving.resources.PipelinePlan` -- the platform-agnostic
   description of a scheduled pipeline,
-* :class:`~repro.serving.simulator.ServingSimulator` -- a discrete-event
-  simulator of queries flowing through the plan's stage queues,
+* :class:`~repro.serving.simulator.ServingSimulator` -- the engine-selecting
+  simulator facade (closed-form ``analytic`` default, discrete-event
+  ``event`` reference),
+* :mod:`repro.serving.engine` -- the closed-form kernel,
+  :class:`~repro.serving.engine.AnalyticSimulator` and the batched
+  :func:`~repro.serving.engine.simulate_grid` entry point,
 * :class:`~repro.serving.metrics.LatencyReport` and helpers for percentiles
   and sustained-throughput search.
 """
 
+from repro.serving.engine import (
+    ENGINES,
+    AnalyticSimulator,
+    SimulationConfig,
+    analytic_latencies,
+    event_latencies,
+    simulate_grid,
+)
+from repro.serving.metrics import LatencyReport, makespan_seconds, percentile
 from repro.serving.resources import PipelinePlan, StageResource
-from repro.serving.metrics import LatencyReport, percentile
-from repro.serving.simulator import ServingSimulator, SimulationConfig, sweep_load
+from repro.serving.simulator import ServingSimulator, sweep_load
 
 __all__ = [
     "StageResource",
     "PipelinePlan",
     "LatencyReport",
     "percentile",
+    "makespan_seconds",
     "ServingSimulator",
+    "AnalyticSimulator",
     "SimulationConfig",
+    "ENGINES",
+    "analytic_latencies",
+    "event_latencies",
+    "simulate_grid",
     "sweep_load",
 ]

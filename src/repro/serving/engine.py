@@ -1,0 +1,268 @@
+"""Simulation engines: the closed-form (analytic) serving simulator.
+
+Every stage of a :class:`~repro.serving.resources.PipelinePlan` is an FCFS
+multi-server queue with a *deterministic* per-query service time.  Under
+deterministic service the discrete-event schedule admits an exact closed
+form, which is what makes dense design-space sweeps cheap: the grid, not the
+cell, becomes the unit of cost.
+
+**Derivation.**  Queries enter a stage in arrival order.  With ``c`` servers
+and a constant service time ``S``, the earliest-free server for the ``q``-th
+query is always the one that served query ``q - c`` (start times are
+non-decreasing when eligibility times are non-decreasing, which holds
+inductively stage by stage because arrivals are sorted).  Query ``q``
+therefore lands on lane ``q mod c``, and within one lane the start times obey
+the Lindley recurrence
+
+    ``start_j = max(eligible_j, start_{j-1} + S)``
+
+whose closed-form solution is a running maximum:
+
+    ``start_j = j*S + max_{i <= j}(eligible_i - i*S)``
+
+i.e. one subtraction, one :func:`np.maximum.accumulate` and one addition per
+stage — no event loop, no heap.  Between stages, eligibility propagates
+exactly as in the event engine: stage ``k+1`` may start
+``forward_fraction_k * service_k`` after stage ``k`` starts (sub-batch
+pipelining), plus the next stage's ``transfer_seconds``; the query completes
+when the slowest stage finishes.
+
+The event-loop reference (:func:`event_latencies`) is kept for validation:
+the two engines agree to floating-point noise (``atol=1e-9``; see
+``tests/test_engine.py``).  :func:`simulate_grid` amortizes one arrival draw
+across an entire QPS column — ``rng.exponential(scale)`` is bitwise
+``standard_exponential() * scale``, so scaling a shared unit draw by
+``1/qps`` reproduces the exact arrivals a per-cell draw with the same seed
+would produce, while the Lindley kernel runs batched over the whole
+``(qps, query)`` matrix.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.serving.metrics import LatencyReport, makespan_seconds
+from repro.serving.resources import PipelinePlan
+
+#: Engines :class:`~repro.serving.simulator.ServingSimulator` can select.
+ENGINES = ("analytic", "event")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one at-scale simulation run."""
+
+    num_queries: int = 4000
+    warmup_queries: int = 200
+    seed: int = 0
+    saturation_utilization: float = 0.98
+    engine: str = "analytic"
+
+    def __post_init__(self) -> None:
+        if self.num_queries <= 0:
+            raise ValueError("num_queries must be positive")
+        if not 0 <= self.warmup_queries < self.num_queries:
+            raise ValueError("warmup_queries must be smaller than num_queries")
+        if not 0.0 < self.saturation_utilization <= 1.0:
+            raise ValueError("saturation_utilization must lie in (0, 1]")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+
+    @classmethod
+    def with_budget(
+        cls, num_queries: int, seed: int = 0, engine: str = "analytic"
+    ) -> "SimulationConfig":
+        """A config whose warmup scales with the query budget (CI-friendly)."""
+        return cls(
+            num_queries=num_queries,
+            warmup_queries=min(200, num_queries // 10),
+            seed=seed,
+            engine=engine,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Arrival processes and report building (shared by both engines)
+# --------------------------------------------------------------------------- #
+def draw_unit_arrivals(num_queries: int, seed) -> np.ndarray:
+    """One standard-exponential inter-arrival draw, reusable across loads.
+
+    Scaling by ``1/qps`` yields exactly the inter-arrivals that
+    ``default_rng(seed).exponential(1/qps, num_queries)`` would produce, so a
+    single draw serves every QPS point of a sweep column without changing any
+    per-cell result.
+    """
+    return np.random.default_rng(seed).standard_exponential(num_queries)
+
+
+def arrivals_at_qps(unit: np.ndarray, qps: float) -> np.ndarray:
+    """Poisson arrival times at ``qps`` from a unit inter-arrival draw."""
+    if qps <= 0:
+        raise ValueError(f"qps must be positive, got {qps}")
+    return np.cumsum(unit * (1.0 / qps))
+
+
+def build_report(
+    plan: PipelinePlan,
+    config: SimulationConfig,
+    qps: float,
+    arrivals: np.ndarray,
+    latencies: np.ndarray,
+) -> LatencyReport:
+    """Summarize one simulated column after dropping the warmup window."""
+    kept = latencies[config.warmup_queries :]
+    kept_arrivals = arrivals[config.warmup_queries :]
+    saturated = plan.utilization(qps) >= config.saturation_utilization
+    return LatencyReport.from_latencies(
+        kept,
+        offered_qps=qps,
+        makespan_seconds=makespan_seconds(kept_arrivals, kept),
+        saturated=saturated,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The analytic engine
+# --------------------------------------------------------------------------- #
+def fcfs_start_times(eligible: np.ndarray, num_servers: int, service_seconds: float) -> np.ndarray:
+    """Exact start times of an FCFS multi-server queue with deterministic service.
+
+    ``eligible`` holds per-query eligibility times, non-decreasing along the
+    last axis; leading axes batch independent columns (e.g. one row per QPS
+    point).  Query ``q`` runs on lane ``q mod num_servers``; per lane the
+    Lindley recurrence is solved with one running maximum.
+    """
+    eligible = np.asarray(eligible, dtype=np.float64)
+    n = eligible.shape[-1]
+    if n == 0:
+        return eligible.copy()
+    lanes = min(num_servers, n)
+    rounds = -(-n // lanes)
+    lead = eligible.shape[:-1]
+    padded = np.full(lead + (rounds * lanes,), np.inf, dtype=np.float64)
+    padded[..., :n] = eligible
+    grid = padded.reshape(lead + (rounds, lanes))
+    # start[j] = j*S + cummax(eligible[i] - i*S) along the per-lane axis; the
+    # +inf padding sits in the final round only, downstream of every real entry.
+    offsets = service_seconds * np.arange(rounds, dtype=np.float64)
+    offsets = offsets.reshape((1,) * len(lead) + (rounds, 1))
+    starts = np.maximum.accumulate(grid - offsets, axis=-2) + offsets
+    return starts.reshape(lead + (rounds * lanes,))[..., :n]
+
+
+def analytic_latencies(plan: PipelinePlan, arrivals: np.ndarray) -> np.ndarray:
+    """End-to-end latencies of sorted ``arrivals`` through ``plan``, closed form.
+
+    ``arrivals`` may carry leading batch axes; each row is an independent
+    simulation sharing the plan.  Eligibility propagates between stages the
+    same way the event engine propagates it: ``transfer_seconds`` before a
+    stage starts, ``forward_fraction * service`` after it starts.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    eligible = arrivals
+    completion = arrivals
+    for stage in plan.stages:
+        eligible = eligible + stage.transfer_seconds
+        start = fcfs_start_times(eligible, stage.num_servers, stage.service_seconds)
+        completion = np.maximum(completion, start + stage.service_seconds)
+        eligible = start + stage.forward_fraction * stage.service_seconds
+    return completion - arrivals
+
+
+# --------------------------------------------------------------------------- #
+# The event-loop reference engine
+# --------------------------------------------------------------------------- #
+def event_latencies(plan: PipelinePlan, arrivals: np.ndarray) -> np.ndarray:
+    """End-to-end latencies via the discrete-event reference (1-D arrivals).
+
+    Kept for validating the closed form: one heappop/heappush per (query,
+    stage).  The analytic engine reproduces these latencies to floating-point
+    noise.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    if arrivals.ndim != 1:
+        raise ValueError("event engine simulates one arrival column at a time")
+    server_free: list[list[float]] = [[0.0] * stage.num_servers for stage in plan.stages]
+    for heap in server_free:
+        heapq.heapify(heap)
+    latencies = np.empty(arrivals.size, dtype=np.float64)
+    for q in range(arrivals.size):
+        eligible = arrivals[q]
+        completion = arrivals[q]
+        for s, stage in enumerate(plan.stages):
+            eligible += stage.transfer_seconds
+            free_at = heapq.heappop(server_free[s])
+            start = max(eligible, free_at)
+            finish = start + stage.service_seconds
+            heapq.heappush(server_free[s], finish)
+            completion = max(completion, finish)
+            eligible = start + stage.forward_fraction * stage.service_seconds
+        latencies[q] = completion - arrivals[q]
+    return latencies
+
+
+# --------------------------------------------------------------------------- #
+# Batched entry points
+# --------------------------------------------------------------------------- #
+def simulate_grid(
+    plan: PipelinePlan,
+    qps_values: Sequence[float],
+    config: SimulationConfig | None = None,
+    seed=None,
+) -> list[LatencyReport]:
+    """Simulate ``plan`` at every load in one vectorized call, one draw total.
+
+    A single unit inter-arrival draw is scaled to each QPS point (bitwise
+    identical to drawing per cell with the same seed), the closed-form kernel
+    runs over the whole ``(qps, query)`` matrix at once, and one
+    :class:`LatencyReport` per load comes back.  ``seed`` overrides
+    ``config.seed`` (any :func:`np.random.default_rng` seed, e.g. an ``int``
+    or a spawned :class:`np.random.SeedSequence` child).
+    """
+    cfg = config or SimulationConfig()
+    qps_list = [float(q) for q in qps_values]
+    if any(q <= 0 for q in qps_list):
+        raise ValueError(f"qps points must be positive, got {qps_list}")
+    if not qps_list:
+        return []
+    unit = draw_unit_arrivals(cfg.num_queries, cfg.seed if seed is None else seed)
+    scales = 1.0 / np.asarray(qps_list, dtype=np.float64)
+    arrivals = np.cumsum(unit[None, :] * scales[:, None], axis=1)
+    latencies = analytic_latencies(plan, arrivals)
+    return [
+        build_report(plan, cfg, qps, arrivals[i], latencies[i]) for i, qps in enumerate(qps_list)
+    ]
+
+
+@dataclass
+class AnalyticSimulator:
+    """Closed-form counterpart of :class:`~repro.serving.simulator.ServingSimulator`.
+
+    ``run`` matches the event engine query for query (same seed, same
+    arrivals, latencies equal to floating-point noise); ``run_grid`` amortizes
+    one arrival draw over a whole QPS column.
+    """
+
+    plan: PipelinePlan
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def latencies(self, qps: float, seed=None) -> tuple[np.ndarray, np.ndarray]:
+        """(arrivals, end-to-end latencies) at ``qps``, warmup included."""
+        unit = draw_unit_arrivals(
+            self.config.num_queries, self.config.seed if seed is None else seed
+        )
+        arrivals = arrivals_at_qps(unit, qps)
+        return arrivals, analytic_latencies(self.plan, arrivals)
+
+    def run(self, qps: float, seed=None) -> LatencyReport:
+        """Simulate one load point in closed form."""
+        arrivals, latencies = self.latencies(qps, seed=seed)
+        return build_report(self.plan, self.config, qps, arrivals, latencies)
+
+    def run_grid(self, qps_values: Sequence[float], seed=None) -> list[LatencyReport]:
+        """One report per load from a single shared arrival draw."""
+        return simulate_grid(self.plan, qps_values, self.config, seed=seed)

@@ -7,6 +7,23 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def makespan_seconds(arrivals: np.ndarray, latencies: np.ndarray) -> float:
+    """Span from the first arrival to the last *completion* of the window.
+
+    The last query to complete is not necessarily the last to arrive (a late
+    arrival can finish on an idle lane while an earlier one still queues), so
+    the span runs to ``max(arrival + latency)``, not to the final arrival's
+    completion.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    latencies = np.asarray(latencies, dtype=np.float64)
+    if arrivals.shape != latencies.shape:
+        raise ValueError("arrivals and latencies must align")
+    if arrivals.size == 0:
+        return 0.0
+    return float(np.max(arrivals + latencies) - arrivals[0])
+
+
 def percentile(latencies: np.ndarray, q: float) -> float:
     """The ``q``-th percentile (0..100) of a latency sample."""
     if not 0.0 <= q <= 100.0:

@@ -1,4 +1,4 @@
-"""Discrete-event simulation of a multi-stage pipeline under Poisson load.
+"""At-scale simulation of a multi-stage pipeline under Poisson load.
 
 Queries arrive following a Poisson process at the offered QPS and flow through
 the stages of a :class:`~repro.serving.resources.PipelinePlan`.  Each stage is
@@ -9,6 +9,14 @@ which is how RPAccel's sub-batch pipelining shortens end-to-end latency
 without changing stage occupancy.  The query completes when every one of its
 stage executions has finished.
 
+:class:`ServingSimulator` selects between two engines producing the same
+schedule (see :mod:`repro.serving.engine`):
+
+* ``engine="analytic"`` (default) -- the closed-form per-lane Lindley
+  recurrence, a handful of vectorized numpy passes per stage;
+* ``engine="event"`` -- the discrete-event reference, one heappop/heappush
+  per (query, stage), kept for validating the closed form.
+
 The simulator reports the latency distribution (mean, p50/p95/p99, max) and
 whether the configuration is saturated (offered load at or beyond the
 bottleneck stage's capacity), which the paper's figures display by greying
@@ -17,41 +25,24 @@ out configurations that cannot meet the system load.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+from repro.serving.engine import (
+    SimulationConfig,
+    analytic_latencies,
+    arrivals_at_qps,
+    build_report,
+    draw_unit_arrivals,
+    event_latencies,
+    simulate_grid,
+)
 from repro.serving.metrics import LatencyReport
 from repro.serving.resources import PipelinePlan
 
-
-@dataclass(frozen=True)
-class SimulationConfig:
-    """Parameters of one at-scale simulation run."""
-
-    num_queries: int = 4000
-    warmup_queries: int = 200
-    seed: int = 0
-    saturation_utilization: float = 0.98
-
-    def __post_init__(self) -> None:
-        if self.num_queries <= 0:
-            raise ValueError("num_queries must be positive")
-        if not 0 <= self.warmup_queries < self.num_queries:
-            raise ValueError("warmup_queries must be smaller than num_queries")
-        if not 0.0 < self.saturation_utilization <= 1.0:
-            raise ValueError("saturation_utilization must lie in (0, 1]")
-
-    @classmethod
-    def with_budget(cls, num_queries: int, seed: int = 0) -> "SimulationConfig":
-        """A config whose warmup scales with the query budget (CI-friendly)."""
-        return cls(
-            num_queries=num_queries,
-            warmup_queries=min(200, num_queries // 10),
-            seed=seed,
-        )
+__all__ = ["ServingSimulator", "SimulationConfig", "sweep_load"]
 
 
 @dataclass
@@ -61,41 +52,41 @@ class ServingSimulator:
     plan: PipelinePlan
     config: SimulationConfig = field(default_factory=SimulationConfig)
 
-    def run(self, qps: float) -> LatencyReport:
-        """Simulate ``config.num_queries`` arrivals at ``qps`` and report latency."""
+    def _latencies(self, arrivals: np.ndarray) -> np.ndarray:
+        if self.config.engine == "event":
+            return event_latencies(self.plan, arrivals)
+        return analytic_latencies(self.plan, arrivals)
+
+    def run(self, qps: float, seed=None) -> LatencyReport:
+        """Simulate ``config.num_queries`` arrivals at ``qps`` and report latency.
+
+        ``seed`` overrides ``config.seed`` for this run (any
+        :func:`np.random.default_rng` seed).
+        """
         if qps <= 0:
             raise ValueError(f"qps must be positive, got {qps}")
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        inter_arrival = rng.exponential(1.0 / qps, size=cfg.num_queries)
-        arrivals = np.cumsum(inter_arrival)
+        unit = draw_unit_arrivals(cfg.num_queries, cfg.seed if seed is None else seed)
+        arrivals = arrivals_at_qps(unit, qps)
+        latencies = self._latencies(arrivals)
+        return build_report(self.plan, cfg, qps, arrivals, latencies)
 
-        # One min-heap of server-free times per stage.
-        server_free: list[list[float]] = [[0.0] * stage.num_servers for stage in self.plan.stages]
-        for heap in server_free:
-            heapq.heapify(heap)
+    def run_grid(self, qps_values: Sequence[float], seed=None) -> list[LatencyReport]:
+        """One report per load in ``qps_values`` from a single arrival draw.
 
-        latencies = np.empty(cfg.num_queries, dtype=np.float64)
-        for q in range(cfg.num_queries):
-            eligible = arrivals[q]
-            completion = arrivals[q]
-            for s, stage in enumerate(self.plan.stages):
-                eligible += stage.transfer_seconds
-                free_at = heapq.heappop(server_free[s])
-                start = max(eligible, free_at)
-                finish = start + stage.service_seconds
-                heapq.heappush(server_free[s], finish)
-                completion = max(completion, finish)
-                eligible = start + stage.forward_fraction * stage.service_seconds
-            latencies[q] = completion - arrivals[q]
-
-        kept = latencies[cfg.warmup_queries :]
-        kept_arrivals = arrivals[cfg.warmup_queries :]
-        makespan = float(kept_arrivals[-1] - kept_arrivals[0] + kept[-1]) if kept.size else 0.0
-        saturated = self.plan.utilization(qps) >= cfg.saturation_utilization
-        return LatencyReport.from_latencies(
-            kept, offered_qps=qps, makespan_seconds=makespan, saturated=saturated
-        )
+        On the analytic engine the whole column is simulated in one batched
+        call; the event engine replays the same arrivals per load.
+        """
+        cfg = self.config
+        if cfg.engine == "analytic":
+            return simulate_grid(self.plan, qps_values, cfg, seed=seed)
+        unit = draw_unit_arrivals(cfg.num_queries, cfg.seed if seed is None else seed)
+        reports = []
+        for qps in qps_values:
+            qps = float(qps)
+            arrivals = arrivals_at_qps(unit, qps)
+            reports.append(build_report(self.plan, cfg, qps, arrivals, self._latencies(arrivals)))
+        return reports
 
     def max_sustainable_qps(
         self,
@@ -107,23 +98,32 @@ class ServingSimulator:
         """Largest QPS at which p99 latency stays within ``sla_seconds``.
 
         Binary search between ``qps_lower`` and the bottleneck capacity of the
-        plan.  Returns 0.0 when even the lowest load misses the SLA.
+        plan.  One arrival draw is shared across every probe (scaling a unit
+        draw reproduces the per-probe draw exactly).  Returns 0.0 when even
+        the lowest load misses the SLA.
         """
         if sla_seconds <= 0:
             raise ValueError("sla_seconds must be positive")
+        cfg = self.config
+        unit = draw_unit_arrivals(cfg.num_queries, cfg.seed)
+
+        def probe(qps: float) -> LatencyReport:
+            arrivals = arrivals_at_qps(unit, qps)
+            return build_report(self.plan, cfg, qps, arrivals, self._latencies(arrivals))
+
         capacity = self.plan.throughput_capacity()
         if qps_upper is None:
             qps_upper = capacity if capacity != float("inf") else 1e6
-        qps_upper = min(qps_upper, capacity * self.config.saturation_utilization)
+        qps_upper = min(qps_upper, capacity * cfg.saturation_utilization)
         if qps_upper <= qps_lower:
-            report = self.run(max(qps_lower, 1e-6))
+            report = probe(max(qps_lower, 1e-6))
             return qps_lower if report.meets_sla(sla_seconds) else 0.0
-        if not self.run(qps_lower).meets_sla(sla_seconds):
+        if not probe(qps_lower).meets_sla(sla_seconds):
             return 0.0
         lo, hi = qps_lower, qps_upper
         while (hi - lo) / max(hi, 1e-9) > tolerance:
             mid = 0.5 * (lo + hi)
-            if self.run(mid).meets_sla(sla_seconds):
+            if probe(mid).meets_sla(sla_seconds):
                 lo = mid
             else:
                 hi = mid
@@ -135,6 +135,9 @@ def sweep_load(
     qps_values: Sequence[float],
     config: SimulationConfig | None = None,
 ) -> list[LatencyReport]:
-    """Simulate the plan at every offered load in ``qps_values``."""
-    simulator = ServingSimulator(plan, config or SimulationConfig())
-    return [simulator.run(qps) for qps in qps_values]
+    """Simulate the plan at every offered load in ``qps_values``.
+
+    Routed through the batched grid path: one arrival draw for the whole
+    column, and (on the default analytic engine) one vectorized kernel call.
+    """
+    return ServingSimulator(plan, config or SimulationConfig()).run_grid(qps_values)

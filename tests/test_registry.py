@@ -24,6 +24,7 @@ ALL_IDS = [
     "fig13",
     "fig14",
     "sweepmp",
+    "bench-sim",
 ]
 
 
@@ -49,7 +50,7 @@ class TestDefaultRegistry:
     def test_covers_every_paper_artifact(self):
         registry = default_registry()
         assert registry.ids() == ALL_IDS
-        assert len(registry) == 12
+        assert len(registry) == 13
 
     def test_every_spec_has_metadata(self):
         for spec in default_registry():

@@ -11,6 +11,7 @@ from repro.serving import (
     ServingSimulator,
     SimulationConfig,
     StageResource,
+    makespan_seconds,
     percentile,
     sweep_load,
 )
@@ -138,8 +139,41 @@ class TestSimulator:
         assert len(reports) == 3
         assert all(isinstance(r, LatencyReport) for r in reports)
 
+    def test_sweep_load_matches_individual_runs(self):
+        plan = single_stage_plan(service=1e-3, servers=2)
+        config = SimulationConfig(num_queries=800, seed=8)
+        reports = sweep_load(plan, [400, 1200], config)
+        simulator = ServingSimulator(plan, config)
+        assert reports == [simulator.run(400), simulator.run(1200)]
+
+    def test_event_engine_available_as_reference(self):
+        plan = two_stage_plan()
+        config = SimulationConfig(num_queries=800, seed=5, engine="event")
+        report = ServingSimulator(plan, config).run(400)
+        analytic = ServingSimulator(plan, SimulationConfig(num_queries=800, seed=5)).run(400)
+        assert report.p99_latency == pytest.approx(analytic.p99_latency, abs=1e-9)
+
 
 class TestMetrics:
+    def test_makespan_runs_to_last_completion_not_last_arrival(self):
+        # The middle query is the last to complete: the span must cover its
+        # completion (1 + 5 = 6), not the final arrival's (2 + 0.5 = 2.5).
+        arrivals = np.array([0.0, 1.0, 2.0])
+        latencies = np.array([0.5, 5.0, 0.5])
+        assert makespan_seconds(arrivals, latencies) == pytest.approx(6.0)
+
+    def test_makespan_empty_window(self):
+        assert makespan_seconds(np.array([]), np.array([])) == 0.0
+
+    def test_makespan_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            makespan_seconds(np.array([0.0, 1.0]), np.array([0.5]))
+
+    def test_simulated_achieved_qps_tracks_offered_load(self):
+        plan = single_stage_plan(service=1e-3, servers=8)
+        report = ServingSimulator(plan, SimulationConfig(num_queries=4000, seed=7)).run(1000)
+        assert report.achieved_qps == pytest.approx(1000, rel=0.1)
+
     def test_percentile_bounds(self):
         lat = np.array([1.0, 2.0, 3.0, 4.0])
         assert percentile(lat, 0) == 1.0

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.sweep import PLATFORMS, SweepConfig, run_sweep
+from repro.core.pipeline import enumerate_pipelines
+from repro.core.sweep import PLATFORMS, SweepConfig, column_seeds, run_sweep
 from repro.data import CriteoConfig, CriteoSynthetic
 from repro.models.zoo import criteo_model_specs
 from repro.quality import QualityEvaluator
@@ -66,6 +67,75 @@ class TestSweepConfig:
 
     def test_all_known_platforms_accepted(self):
         assert SweepConfig(platforms=PLATFORMS).platforms == PLATFORMS
+
+    def test_duplicate_qps_deduped_order_preserved(self):
+        config = SweepConfig(qps=(500.0, 250.0, 500.0))
+        assert config.qps == (500.0, 250.0)
+        assert config.cells() == [("cpu", 500.0), ("cpu", 250.0)]
+
+    def test_engine_is_a_knob(self):
+        assert SweepConfig().engine == "analytic"
+        assert SweepConfig(engine="event").engine == "event"
+        with pytest.raises(ValueError, match="unknown engine"):
+            SweepConfig(engine="quantum")
+
+
+class TestColumnSeeds:
+    def pipelines(self):
+        return enumerate_pipelines(
+            criteo_model_specs(),
+            first_stage_items=(512,),
+            later_stage_items=(128,),
+            max_stages=2,
+            serve_k=64,
+        )
+
+    def test_one_seed_per_platform_pipeline_column(self):
+        config = SweepConfig(platforms=("cpu", "rpaccel"), **SMALL_GRID)
+        pipelines = self.pipelines()
+        seeds = column_seeds(config, pipelines)
+        assert set(seeds) == {
+            (platform, pipeline.name)
+            for platform in config.platforms
+            for pipeline in pipelines
+        }
+
+    def test_columns_do_not_share_arrival_noise(self):
+        config = SweepConfig(platforms=("cpu", "gpu-cpu", "rpaccel"), **SMALL_GRID)
+        seeds = column_seeds(config, self.pipelines())
+        assert len(set(seeds.values())) == len(seeds)
+
+    def test_same_config_derives_same_seeds(self):
+        config = SweepConfig(platforms=("cpu", "rpaccel"), **SMALL_GRID)
+        pipelines = self.pipelines()
+        assert column_seeds(config, pipelines) == column_seeds(config, pipelines)
+
+    def test_different_root_seed_different_cells(self):
+        pipelines = self.pipelines()
+        a = column_seeds(SweepConfig(seed=0, **SMALL_GRID), pipelines)
+        b = column_seeds(SweepConfig(seed=1, **SMALL_GRID), pipelines)
+        assert set(a.values()).isdisjoint(b.values())
+
+    def test_sweep_is_reproducible(self):
+        config = SweepConfig(platforms=("cpu", "rpaccel"), qps=(250.0,), **SMALL_GRID)
+        first = run_sweep(make_evaluator(), criteo_model_specs(), config)
+        second = run_sweep(make_evaluator(), criteo_model_specs(), config)
+        assert first.rows() == second.rows()
+
+    def test_event_engine_sweep_agrees_with_analytic(self):
+        analytic = run_sweep(
+            make_evaluator(),
+            criteo_model_specs(),
+            SweepConfig(platforms=("cpu",), qps=(250.0,), **SMALL_GRID),
+        )
+        event = run_sweep(
+            make_evaluator(),
+            criteo_model_specs(),
+            SweepConfig(platforms=("cpu",), qps=(250.0,), engine="event", **SMALL_GRID),
+        )
+        for a, b in zip(analytic.rows(), event.rows()):
+            assert a["pipeline"] == b["pipeline"]
+            assert a["p99_ms"] == pytest.approx(b["p99_ms"], abs=1e-6)
 
 
 class TestQualityMemoization:
