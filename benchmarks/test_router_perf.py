@@ -1,0 +1,98 @@
+"""Benchmark: online router claims + serving-time routing overhead.
+
+Two halves, mirroring the router ISSUE's acceptance criteria:
+
+* the ``router`` registry experiment's headline claims hold — on the
+  flash-crowd trace the online policy beats the best static path on
+  SLA-violation rate while staying within 0.1% of the oracle's quality,
+  with ``oracle <= online <= static`` on violations for every trace;
+* the decision loop itself is cheap enough to sit on a serving hot path —
+  the per-step overhead of :meth:`MultiPathRouter.decide` is measured on a
+  long trace and recorded to ``BENCH_router.json`` (override the
+  destination with ``RECPIPE_BENCH_ROUTER_PATH``) so future PRs can
+  regress against the trajectory.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import report
+
+from repro.experiments import router_online
+from repro.serving.router import MultiPathRouter
+from repro.serving.trace import diurnal_trace
+
+BENCH_PATH = Path("BENCH_router.json")
+
+
+def bench_path() -> Path:
+    return Path(os.environ.get("RECPIPE_BENCH_ROUTER_PATH", BENCH_PATH))
+
+
+def test_router_experiment_claims(benchmark):
+    result = benchmark.pedantic(router_online.run, rounds=1, iterations=1, warmup_rounds=0)
+    report(result)
+
+    by_key = {(row["trace"], row["policy"]): row for row in result.rows}
+    traces = {row["trace"] for row in result.rows}
+    assert traces == {"diurnal", "spike", "ramp"}
+    for trace in traces:
+        static = by_key[(trace, "static")]
+        oracle = by_key[(trace, "oracle")]
+        online = by_key[(trace, "online")]
+        # Clairvoyance bounds the online policy, which bounds static.
+        assert oracle["sla_violation_rate"] <= online["sla_violation_rate"]
+        assert online["sla_violation_rate"] <= static["sla_violation_rate"]
+        assert static["num_switches"] == 0
+
+    # The headline MP-Rec-style claim on the flash-crowd trace.
+    spike_static = by_key[("spike", "static")]
+    spike_oracle = by_key[("spike", "oracle")]
+    spike_online = by_key[("spike", "online")]
+    assert spike_online["sla_violation_rate"] < spike_static["sla_violation_rate"]
+    assert spike_online["quality_ndcg"] >= spike_oracle["quality_ndcg"] * (
+        1.0 - router_online.QUALITY_SLACK
+    )
+
+
+def test_routing_decision_overhead():
+    compile_start = time.perf_counter()
+    table = router_online.build_table(seed=0)
+    compile_seconds = time.perf_counter() - compile_start
+
+    trace = diurnal_trace(
+        num_steps=5000, step_seconds=1.0, base_qps=150.0, peak_qps=5500.0, noise=0.05, seed=0
+    )
+    router = MultiPathRouter(table, window=3, hysteresis_steps=2)
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        steps, switches = router.decide(trace)
+        best = min(best, time.perf_counter() - start)
+    assert len(steps) == trace.num_steps
+
+    seconds_per_decision = best / trace.num_steps
+    payload = {
+        "benchmark": "router_overhead",
+        "num_paths": len(table.paths),
+        "qps_grid_points": len(table.qps_grid),
+        "trace_steps": trace.num_steps,
+        "table_compile_seconds": compile_seconds,
+        "decide_seconds": best,
+        "decisions_per_second": trace.num_steps / best,
+        "microseconds_per_decision": seconds_per_decision * 1e6,
+        "num_switches": int(np.sum(switches)),
+    }
+    path = bench_path()
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(
+        f"\nrouting overhead: {payload['microseconds_per_decision']:.1f} us/decision "
+        f"({payload['decisions_per_second']:.0f} decisions/s, "
+        f"table compile {compile_seconds:.2f} s) -> {path}"
+    )
+
+    # A routing decision must be invisible next to a ~10 ms serving SLA.
+    assert seconds_per_decision < 1e-3

@@ -2,17 +2,22 @@
 
 Subcommands::
 
-    recpipe list                      # every registered experiment + metadata
+    recpipe list [--format markdown]  # every registered experiment + metadata
     recpipe run [--only IDS] [--tag TAGS] [--jobs N] [--seed S] [--output-dir D]
     recpipe sweep --platform cpu --qps 250,500 --sla-ms 25 [--output-dir D]
+    recpipe route --trace spike --sla-ms 25 [--output-dir D]
     recpipe report --output-dir D     # re-render the tables of a previous run
 
 ``run`` executes registered experiment harnesses (process-parallel with
 ``--jobs``); ``sweep`` exposes the :mod:`repro.core.sweep` design-space
 exploration with user-supplied loads and latency targets instead of the
-paper's presets.  With ``--output-dir`` both write per-experiment JSON + CSV
-artifacts and a ``manifest.json`` (config, seed, wall-clock per experiment),
-which ``report`` reads back.
+paper's presets; ``route`` compiles a :class:`~repro.serving.router.PathTable`
+and replays time-varying load traces under static / oracle / online path
+selection (:mod:`repro.serving.router`).  With ``--output-dir`` all of them
+write per-experiment JSON + CSV artifacts and a ``manifest.json`` (config,
+seed, wall-clock per experiment), which ``report`` reads back.  ``list
+--format markdown`` emits the registry table embedded in
+``docs/experiments.md`` (checked by CI).
 """
 
 from __future__ import annotations
@@ -51,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = sub.add_parser("list", help="list registered experiments")
     list_parser.add_argument("--tag", default="", help="comma-separated tags to filter by")
+    list_parser.add_argument(
+        "--format",
+        default="table",
+        choices=("table", "markdown"),
+        help="plain-text table (default) or the markdown table docs/experiments.md embeds",
+    )
 
     run_parser = sub.add_parser("run", help="run registered experiments")
     run_parser.add_argument(
@@ -135,6 +146,99 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--quiet", action="store_true", help="suppress the plain-text table")
 
+    route_parser = sub.add_parser(
+        "route", help="online multi-path routing over time-varying load traces"
+    )
+    route_parser.add_argument(
+        "--dataset", default="criteo", choices=SWEEP_DATASETS, help="workload to route"
+    )
+    route_parser.add_argument(
+        "--platform",
+        default="cpu,gpu-cpu",
+        help="comma-separated platforms whose (platform, pipeline) paths enter the table",
+    )
+    route_parser.add_argument(
+        "--qps-grid",
+        default="100,250,1000,2500,4000,5500,6000",
+        help="swept loads backing the table's interpolated p99 curves",
+    )
+    route_parser.add_argument(
+        "--sla-ms", type=float, default=25.0, help="tail-latency SLA in milliseconds"
+    )
+    route_parser.add_argument(
+        "--quality-target",
+        type=float,
+        default=None,
+        help="minimum NDCG a path needs to be routable",
+    )
+    route_parser.add_argument(
+        "--first-stage-items", default="512", help="candidate pool sizes"
+    )
+    route_parser.add_argument(
+        "--later-stage-items", default="128,256", help="later-stage item grid"
+    )
+    route_parser.add_argument(
+        "--max-stages", type=int, default=2, help="maximum number of funnel stages"
+    )
+    route_parser.add_argument(
+        "--serve-k", type=int, default=64, help="items the last stage must serve"
+    )
+    route_parser.add_argument(
+        "--num-queries", type=int, default=800, help="simulated queries per dwell cell"
+    )
+    route_parser.add_argument(
+        "--pool",
+        type=int,
+        default=None,
+        help="candidates per ranking query (default: 512 criteo, 1024 movielens)",
+    )
+    route_parser.add_argument(
+        "--trace",
+        default="all",
+        help="comma-separated trace names (diurnal, spike, ramp) or 'all'",
+    )
+    route_parser.add_argument(
+        "--steps", type=int, default=120, help="number of trace steps"
+    )
+    route_parser.add_argument(
+        "--step-seconds", type=float, default=60.0, help="width of one trace step"
+    )
+    route_parser.add_argument(
+        "--base-qps",
+        type=float,
+        default=150.0,
+        help="trough load (diurnal base, spike base, ramp start)",
+    )
+    route_parser.add_argument(
+        "--peak-qps",
+        type=float,
+        default=5500.0,
+        help="peak load (diurnal peak, spike plateau, ramp end)",
+    )
+    route_parser.add_argument(
+        "--noise", type=float, default=0.03, help="relative per-step load noise"
+    )
+    route_parser.add_argument(
+        "--window", type=int, default=3, help="sliding-window length of the load estimator"
+    )
+    route_parser.add_argument(
+        "--hysteresis",
+        type=int,
+        default=2,
+        help="consecutive identical proposals required before switching",
+    )
+    route_parser.add_argument(
+        "--switch-penalty-ms",
+        type=float,
+        default=5.0,
+        help="warm-up latency charged to every query of a switch step",
+    )
+    route_parser.add_argument("--seed", type=int, default=0, help="simulation + trace seed")
+    route_parser.add_argument(
+        "--output-dir", default="", help="write JSON/CSV artifacts and a manifest here"
+    )
+    route_parser.add_argument("--quiet", action="store_true", help="suppress the plain-text table")
+
     report_parser = sub.add_parser(
         "report", help="re-render the tables of a previous --output-dir run"
     )
@@ -173,8 +277,25 @@ def _parse_ints(text: str, flag: str) -> tuple[int, ...]:
 # --------------------------------------------------------------------------- #
 # recpipe list
 # --------------------------------------------------------------------------- #
+def format_markdown_listing(specs) -> str:
+    """The registry as a GitHub-flavoured markdown table (docs/experiments.md)."""
+    lines = [
+        "| id | title | paper ref | tags | module |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for spec in specs:
+        lines.append(
+            f"| `{spec.id}` | {spec.title} | {spec.paper_ref} | "
+            f"`{','.join(spec.tags)}` | `{spec.module}` |"
+        )
+    return "\n".join(lines)
+
+
 def cmd_list(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
     specs = registry.select(tags=_parse_csv(args.tag))
+    if getattr(args, "format", "table") == "markdown":
+        print(format_markdown_listing(specs))
+        return 0
     id_width = max((len(s.id) for s in specs), default=2)
     ref_width = max((len(s.paper_ref) for s in specs), default=3)
     tag_width = max((len(",".join(s.tags)) for s in specs), default=4)
@@ -381,6 +502,150 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# recpipe route
+# --------------------------------------------------------------------------- #
+def _route_traces(args: argparse.Namespace) -> list:
+    """Build the requested load traces from the CLI's shared shape flags."""
+    from repro.serving.trace import TRACES, diurnal_trace, ramp_trace, spike_trace
+
+    names = _parse_csv(args.trace)
+    if not names:
+        raise ValueError("--trace needs at least one trace name (or 'all')")
+    if len(names) == 1 and names[0].lower() == "all":
+        names = list(TRACES)
+    unknown = [name for name in names if name not in TRACES]
+    if unknown:
+        raise ValueError(f"unknown traces {unknown}; expected a subset of {sorted(TRACES)}")
+    shape = dict(
+        num_steps=args.steps, step_seconds=args.step_seconds, noise=args.noise, seed=args.seed
+    )
+    builders = {
+        "diurnal": lambda: diurnal_trace(base_qps=args.base_qps, peak_qps=args.peak_qps, **shape),
+        "spike": lambda: spike_trace(base_qps=args.base_qps, spike_qps=args.peak_qps, **shape),
+        "ramp": lambda: ramp_trace(start_qps=args.base_qps, end_qps=args.peak_qps, **shape),
+    }
+    return [builders[name]() for name in names]
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import enumerate_pipelines
+    from repro.core.scheduler import RecPipeScheduler
+    from repro.experiments.router_online import compare_policies, result_row, violation_note
+    from repro.serving.router import MultiPathRouter, PathTable
+    from repro.serving.simulator import SimulationConfig
+
+    # A smaller default pool than sweep's: routing tables pair it with the
+    # default 512-item first stage, like the `router` registry experiment.
+    pool = args.pool if args.pool is not None else (512 if args.dataset == "criteo" else 1024)
+    evaluator, specs, num_tables, pool = _sweep_workload(args.dataset, pool)
+    pipelines = enumerate_pipelines(
+        specs,
+        first_stage_items=_parse_ints(args.first_stage_items, "--first-stage-items"),
+        later_stage_items=_parse_ints(args.later_stage_items, "--later-stage-items"),
+        max_stages=args.max_stages,
+        serve_k=args.serve_k,
+    )
+    if not pipelines:
+        raise ValueError(
+            "the item ladders admit no pipeline; widen --first-stage-items / "
+            "--later-stage-items or lower --serve-k"
+        )
+    scheduler = RecPipeScheduler(
+        evaluator,
+        simulation=SimulationConfig.with_budget(args.num_queries, seed=args.seed),
+        num_tables=num_tables,
+    )
+    start = time.perf_counter()
+    table = PathTable.compile(
+        scheduler,
+        pipelines,
+        _parse_platforms(args.platform),
+        _parse_floats(args.qps_grid, "--qps-grid"),
+        sla_ms=args.sla_ms,
+        quality_target=args.quality_target,
+        seed=args.seed,
+    )
+    router = MultiPathRouter(
+        table,
+        window=args.window,
+        hysteresis_steps=args.hysteresis,
+        switch_penalty_seconds=args.switch_penalty_ms / 1e3,
+    )
+
+    traces = _route_traces(args)
+    result = ExperimentResult(name=f"route_{args.dataset}")
+    steps_result = ExperimentResult(name=f"route_{args.dataset}_steps")
+    for trace in traces:
+        routings = compare_policies(table, trace, router=router)
+        for routing in routings.values():
+            result.add(**result_row(trace, routing))
+        online = routings["online"]
+        for step, (path_index, switched) in enumerate(
+            zip(online.path_steps, online.switch_steps)
+        ):
+            path = table.paths[path_index]
+            steps_result.add(
+                trace=trace.name,
+                step=step,
+                qps=float(trace.qps[step]),
+                estimated_qps=router.estimate_qps(trace, step),
+                platform=path.platform,
+                pipeline=path.pipeline.name,
+                path=path.name,
+                switch=bool(switched),
+            )
+        result.note(violation_note(trace, routings))
+    elapsed = time.perf_counter() - start
+
+    if not args.quiet:
+        print(result.format_table())
+    if args.output_dir:
+        meta = {
+            "id": "route",
+            "title": f"Online multi-path routing ({args.dataset} on {args.platform})",
+            "paper_ref": "MP-Rec-style serving-time path selection",
+            "tags": ["serving-online", args.dataset],
+            "module": "repro.serving.router",
+        }
+        cli_config = {
+            "dataset": args.dataset,
+            "platforms": list(_parse_platforms(args.platform)),
+            "qps_grid": list(_parse_floats(args.qps_grid, "--qps-grid")),
+            "sla_ms": args.sla_ms,
+            "quality_target": args.quality_target,
+            "traces": [trace.name for trace in traces],
+            "steps": args.steps,
+            "step_seconds": args.step_seconds,
+            "base_qps": args.base_qps,
+            "peak_qps": args.peak_qps,
+            "noise": args.noise,
+            "window": args.window,
+            "hysteresis": args.hysteresis,
+            "switch_penalty_ms": args.switch_penalty_ms,
+            "num_queries": args.num_queries,
+            "pool": pool,
+        }
+        entries = [
+            artifacts.write_experiment_artifacts(
+                Path(args.output_dir), meta, result, seed=args.seed, wall_clock_seconds=elapsed
+            )
+        ]
+        steps_meta = dict(meta)
+        steps_meta["id"] = "route_steps"
+        steps_meta["title"] = f"{meta['title']} — online per-step decision log"
+        entries.append(
+            artifacts.write_experiment_artifacts(
+                Path(args.output_dir), steps_meta, steps_result, seed=args.seed
+            )
+        )
+        manifest = artifacts.write_manifest(
+            Path(args.output_dir), "route", cli_config, entries, seed=args.seed
+        )
+        print(f"wrote {len(entries)} route artifact pairs + {manifest}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # recpipe report
 # --------------------------------------------------------------------------- #
 def cmd_report(args: argparse.Namespace) -> int:
@@ -416,6 +681,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_run(args, registry)
         if args.command == "sweep":
             return cmd_sweep(args)
+        if args.command == "route":
+            return cmd_route(args)
         if args.command == "report":
             return cmd_report(args)
     except (UnknownExperimentError, UnknownTagError, ValueError) as error:

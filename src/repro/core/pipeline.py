@@ -26,10 +26,12 @@ class Stage:
     num_items: int
 
     def __post_init__(self) -> None:
+        """Validate the stage's item count."""
         if self.num_items <= 0:
             raise ValueError(f"num_items must be positive, got {self.num_items}")
 
     def reference_cost(self, num_tables: int = 26) -> ModelCost:
+        """Per-item compute/storage cost of this stage's model."""
         return self.model.reference_cost(num_tables=num_tables)
 
 
@@ -41,6 +43,7 @@ class PipelineConfig:
     serve_k: int = 64
 
     def __post_init__(self) -> None:
+        """Validate the stage ladder (monotone items, serve_k reachable)."""
         if not self.stages:
             raise ValueError("a pipeline needs at least one stage")
         if self.serve_k <= 0:
@@ -59,16 +62,20 @@ class PipelineConfig:
     # ------------------------------------------------------------------ #
     @property
     def num_stages(self) -> int:
+        """Number of stages in the funnel."""
         return len(self.stages)
 
     @property
     def name(self) -> str:
+        """Canonical label, e.g. ``RMsmall@4096 -> RMlarge@512``."""
         return " -> ".join(f"{s.model.name}@{s.num_items}" for s in self.stages)
 
     def stage_costs(self, num_tables: int = 26) -> list[ModelCost]:
+        """Per-stage reference model costs, in funnel order."""
         return [stage.reference_cost(num_tables) for stage in self.stages]
 
     def stage_items(self) -> list[int]:
+        """Per-stage items-ranked counts, in funnel order."""
         return [stage.num_items for stage in self.stages]
 
     def funnel_stages(self) -> list[FunnelStage]:

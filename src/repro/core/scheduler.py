@@ -49,9 +49,11 @@ class EvaluatedConfig:
 
     @property
     def feasible(self) -> bool:
+        """Whether the platform sustained the offered load at all."""
         return not self.saturated
 
     def meets(self, quality_target: float, sla_seconds: float) -> bool:
+        """Whether this evaluation satisfies both application targets."""
         return (
             self.feasible
             and self.quality >= quality_target
@@ -61,7 +63,19 @@ class EvaluatedConfig:
 
 @dataclass
 class RecPipeScheduler:
-    """Explore multi-stage configurations across heterogeneous hardware."""
+    """Explore multi-stage configurations across heterogeneous hardware.
+
+    Parameters
+    ----------
+    evaluator : QualityEvaluator
+        Ranking-quality (NDCG) evaluator over the target workload's queries.
+    hardware : HardwarePool
+        The CPU/GPU/PCIe/accelerator models plans are built against.
+    simulation : SimulationConfig
+        At-scale simulation budget, seed and engine selection.
+    num_tables : int
+        Embedding tables of the workload (26 Criteo, 2 MovieLens).
+    """
 
     evaluator: QualityEvaluator
     hardware: HardwarePool = field(default_factory=HardwarePool)
@@ -153,8 +167,32 @@ class RecPipeScheduler:
         simulated in one batched call (one arrival draw, one vectorized
         kernel pass on the analytic engine).  Saturated loads are not
         simulated -- they report infinite tail latency, as in the paper's
-        greyed-out cells.  ``seed`` overrides the simulation seed for this
-        column (see :func:`repro.core.sweep.run_sweep`'s per-cell seeds).
+        greyed-out cells.
+
+        Parameters
+        ----------
+        pipeline : PipelineConfig
+            The funnel to evaluate.
+        platform : str
+            Hardware platform (see :meth:`plan_for`).
+        qps_values : sequence of float
+            Offered loads of the column.
+        devices : sequence of str, optional
+            Per-stage device pinning for ``gpu-cpu`` mappings.
+        sub_batches : int
+            Sub-batch pipelining factor forwarded to the quality evaluator.
+        quality : float, optional
+            Precomputed platform-independent quality (skips the evaluator).
+        seed : int, optional
+            Overrides the simulation seed for this column (see
+            :func:`repro.core.sweep.column_seeds`).
+        **accel_kwargs
+            Forwarded to the accelerator plan builder.
+
+        Returns
+        -------
+        list[EvaluatedConfig]
+            One record per load, in ``qps_values`` order.
         """
         quality_value = (
             self.evaluator.evaluate(pipeline.funnel_stages(), sub_batches=sub_batches)

@@ -41,14 +41,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
-import numpy as np
-
 from repro.core.mapping import HardwarePool
 from repro.core.pipeline import PipelineConfig, enumerate_pipelines
 from repro.core.scheduler import EvaluatedConfig, RecPipeScheduler
 from repro.models.zoo import ModelSpec
 from repro.quality.evaluator import QualityEvaluator
-from repro.serving.engine import ENGINES
+from repro.serving.engine import ENGINES, spawn_seeds
 from repro.serving.simulator import SimulationConfig
 
 PLATFORMS = ("cpu", "gpu", "gpu-cpu", "baseline-accel", "rpaccel")
@@ -59,7 +57,39 @@ Cell = tuple[str, float]
 
 @dataclass(frozen=True)
 class SweepConfig:
-    """Everything a design-space sweep needs besides the workload itself."""
+    """Everything a design-space sweep needs besides the workload itself.
+
+    Parameters
+    ----------
+    platforms : tuple[str, ...]
+        Hardware platforms as a swept axis (subset of :data:`PLATFORMS`);
+        the first entry is the baseline every speedup is measured against.
+        A lone platform name is normalized to a one-element axis and
+        duplicates are dropped, order preserved.
+    qps : tuple[float, ...]
+        Offered loads to evaluate every (platform, pipeline) cell at.
+    sla_ms : float
+        Tail-latency SLA in milliseconds (``best_under_sla`` cross-sections).
+    quality_target : float or None
+        NDCG floor for the iso-quality cross-section (``None``: skip it).
+    first_stage_items, later_stage_items : tuple[int, ...]
+        Candidate-pool and survivor ladders fed to
+        :func:`~repro.core.pipeline.enumerate_pipelines`.
+    max_stages : int
+        Deepest funnel to enumerate.
+    serve_k : int
+        Items the final stage must serve.
+    num_queries : int
+        Simulated arrivals per (platform, pipeline, qps) cell.
+    seed : int
+        Root seed; per-column arrival seeds derive from it
+        (:func:`column_seeds`).
+    num_tables : int
+        Embedding tables of the workload (26 Criteo, 2 MovieLens).
+    engine : str
+        Serving engine, ``"analytic"`` (closed form, default) or
+        ``"event"`` (discrete-event reference).
+    """
 
     platforms: tuple[str, ...] = ("cpu",)
     qps: tuple[float, ...] = (500.0,)
@@ -99,6 +129,7 @@ class SweepConfig:
 
     @property
     def sla_seconds(self) -> float:
+        """The tail-latency SLA converted to seconds."""
         return self.sla_ms / 1e3
 
     @property
@@ -153,7 +184,7 @@ class SweepOutcome:
         return self._baseline_p99_cache
 
     def speedup_vs_baseline(self, e: EvaluatedConfig) -> float | None:
-        """p99 speedup of ``e`` over the same pipeline on the baseline platform.
+        """Speedup (p99) of ``e`` over the same pipeline on the baseline platform.
 
         ``None`` when either side is saturated (no finite latency to compare);
         baseline rows report 1.0 by construction.
@@ -189,6 +220,7 @@ class SweepOutcome:
                             "pipeline": e.pipeline.name,
                             "num_stages": e.pipeline.num_stages,
                             "platform": e.platform,
+                            "engine": self.config.engine,
                             "qps": qps,
                             "quality_ndcg": e.quality,
                             "p99_ms": float("inf")
@@ -241,6 +273,7 @@ class SweepOutcome:
                     {
                         "qps": qps,
                         "platform": e.platform,
+                        "engine": self.config.engine,
                         "pipeline": e.pipeline.name,
                         "num_stages": e.pipeline.num_stages,
                         "quality_ndcg": e.quality,
@@ -258,7 +291,7 @@ class SweepOutcome:
             f"{len(self.pipelines)} configurations x "
             f"{len(cfg.platforms)} platforms ({', '.join(cfg.platforms)}; "
             f"baseline {cfg.baseline_platform}; sla {cfg.sla_ms:.1f} ms, "
-            f"seed {cfg.seed})"
+            f"engine {cfg.engine}, seed {cfg.seed})"
         ]
         for qps in cfg.qps:
             for platform in cfg.platforms:
@@ -321,25 +354,20 @@ class SweepOutcome:
 def column_seeds(
     config: SweepConfig, pipelines: Sequence[PipelineConfig]
 ) -> dict[tuple[str, str], int]:
-    """One arrival-noise seed per (platform, pipeline) column, spawned from
-    ``config.seed``.
+    """One arrival-noise seed per (platform, pipeline) column.
 
-    :meth:`np.random.SeedSequence.spawn` guarantees statistically independent
-    streams per column (cells no longer share correlated arrival noise) while
-    staying fully deterministic: the same sweep config always derives the
-    same seeds.  Each child is collapsed to a 128-bit integer seed (wide
-    enough that column collisions are out of the question) so seeds stay
-    hashable, comparable and cheap to ship to worker processes.  Within a
+    Spawned from ``config.seed`` via
+    :func:`repro.serving.engine.spawn_seeds` (the shared SeedSequence
+    collapse, also used by router path tables): statistically independent
+    streams per column (cells no longer share correlated arrival noise)
+    that the same sweep config always re-derives identically.  Within a
     column, the draw is deliberately shared across the QPS axis (common
     random numbers make load curves smooth and let
     :func:`repro.serving.engine.simulate_grid` batch the whole column).
     """
-    children = np.random.SeedSequence(config.seed).spawn(len(config.platforms) * len(pipelines))
-    spawned = iter(children)
+    spawned = iter(spawn_seeds(config.seed, len(config.platforms) * len(pipelines)))
     return {
-        (platform, pipeline.name): int.from_bytes(
-            next(spawned).generate_state(4, np.uint32).tobytes(), "little"
-        )
+        (platform, pipeline.name): next(spawned)
         for platform in config.platforms
         for pipeline in pipelines
     }
@@ -368,7 +396,9 @@ def _init_worker(
     qps_values: Sequence[float],
     seeds: dict[tuple[str, str], int],
 ) -> None:
-    """Ship the scheduler (with its query workload) and the quality memo to a
+    """Install the per-worker sweep state once per process.
+
+    Ships the scheduler (with its query workload) and the quality memo to a
     worker once, instead of re-pickling them with every column task.  Workers
     never re-run the quality simulation — the memo travels with them.
     """

@@ -9,10 +9,14 @@ from dataclasses import dataclass
 class ApplicationTargets:
     """The three application-level targets a deployment must meet.
 
-    Attributes:
-        quality_target: minimum acceptable NDCG (percent) of the served list.
-        sla_seconds: p99 tail-latency SLA.
-        qps: offered system load (queries per second, Poisson arrivals).
+    Attributes
+    ----------
+    quality_target : float
+        Minimum acceptable NDCG (percent) of the served list.
+    sla_seconds : float
+        Tail-latency (p99) SLA in seconds.
+    qps : float
+        Offered system load (queries per second, Poisson arrivals).
     """
 
     quality_target: float = 0.0
@@ -20,6 +24,7 @@ class ApplicationTargets:
     qps: float = 0.0
 
     def __post_init__(self) -> None:
+        """Validate the three targets."""
         if self.quality_target < 0 or self.quality_target > 100:
             raise ValueError("quality_target must lie in [0, 100]")
         if self.sla_seconds <= 0:
@@ -28,11 +33,13 @@ class ApplicationTargets:
             raise ValueError("qps must be non-negative")
 
     def with_qps(self, qps: float) -> "ApplicationTargets":
+        """A copy of these targets at a different offered load."""
         return ApplicationTargets(
             quality_target=self.quality_target, sla_seconds=self.sla_seconds, qps=qps
         )
 
     def with_quality(self, quality_target: float) -> "ApplicationTargets":
+        """A copy of these targets with a different quality floor."""
         return ApplicationTargets(
             quality_target=quality_target, sla_seconds=self.sla_seconds, qps=self.qps
         )

@@ -15,7 +15,14 @@ tail latency and sustained throughput.  This package provides
   :class:`~repro.serving.engine.AnalyticSimulator` and the batched
   :func:`~repro.serving.engine.simulate_grid` entry point,
 * :class:`~repro.serving.metrics.LatencyReport` and helpers for percentiles
-  and sustained-throughput search.
+  and sustained-throughput search,
+* :mod:`repro.serving.trace` / :mod:`repro.serving.router` -- the online
+  serving layer: time-varying load traces
+  (:func:`~repro.serving.trace.diurnal_trace`,
+  :func:`~repro.serving.trace.spike_trace`,
+  :func:`~repro.serving.trace.ramp_trace`) and MP-Rec-style serving-time
+  path selection (:class:`~repro.serving.router.PathTable`,
+  :class:`~repro.serving.router.MultiPathRouter`).
 """
 
 from repro.serving.engine import (
@@ -28,7 +35,23 @@ from repro.serving.engine import (
 )
 from repro.serving.metrics import LatencyReport, makespan_seconds, percentile
 from repro.serving.resources import PipelinePlan, StageResource
+from repro.serving.router import (
+    MultiPathRouter,
+    PathTable,
+    RoutingResult,
+    ServingPath,
+    route_oracle,
+    route_static,
+)
 from repro.serving.simulator import ServingSimulator, sweep_load
+from repro.serving.trace import (
+    TRACES,
+    LoadTrace,
+    diurnal_trace,
+    make_trace,
+    ramp_trace,
+    spike_trace,
+)
 
 __all__ = [
     "StageResource",
@@ -44,4 +67,16 @@ __all__ = [
     "event_latencies",
     "simulate_grid",
     "sweep_load",
+    "LoadTrace",
+    "TRACES",
+    "diurnal_trace",
+    "spike_trace",
+    "ramp_trace",
+    "make_trace",
+    "ServingPath",
+    "PathTable",
+    "MultiPathRouter",
+    "RoutingResult",
+    "route_static",
+    "route_oracle",
 ]

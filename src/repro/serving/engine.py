@@ -63,6 +63,7 @@ class SimulationConfig:
     engine: str = "analytic"
 
     def __post_init__(self) -> None:
+        """Validate the simulation budget and engine selection."""
         if self.num_queries <= 0:
             raise ValueError("num_queries must be positive")
         if not 0 <= self.warmup_queries < self.num_queries:
@@ -88,6 +89,24 @@ class SimulationConfig:
 # --------------------------------------------------------------------------- #
 # Arrival processes and report building (shared by both engines)
 # --------------------------------------------------------------------------- #
+def spawn_seeds(seed: int, count: int) -> list[int]:
+    """Derive ``count`` independent integer seeds from ``seed``.
+
+    :meth:`np.random.SeedSequence.spawn` guarantees statistically independent
+    streams while staying fully deterministic: the same root seed always
+    derives the same children.  Each child is collapsed to a 128-bit integer
+    (wide enough that collisions are out of the question) so seeds stay
+    hashable, comparable and cheap to ship to worker processes.  This is the
+    one definition of the collapse; sweep columns and router paths both use
+    it.
+    """
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [
+        int.from_bytes(child.generate_state(4, np.uint32).tobytes(), "little")
+        for child in children
+    ]
+
+
 def draw_unit_arrivals(num_queries: int, seed) -> np.ndarray:
     """One standard-exponential inter-arrival draw, reusable across loads.
 
@@ -245,6 +264,13 @@ class AnalyticSimulator:
     ``run`` matches the event engine query for query (same seed, same
     arrivals, latencies equal to floating-point noise); ``run_grid`` amortizes
     one arrival draw over a whole QPS column.
+
+    Parameters
+    ----------
+    plan : PipelinePlan
+        The scheduled pipeline to simulate.
+    config : SimulationConfig
+        Query budget, warmup window, seed and saturation threshold.
     """
 
     plan: PipelinePlan

@@ -56,6 +56,7 @@ class LatencyReport:
         makespan_seconds: float,
         saturated: bool,
     ) -> "LatencyReport":
+        """Summarize a latency sample into percentile and throughput fields."""
         latencies = np.asarray(latencies, dtype=np.float64)
         if latencies.size == 0:
             raise ValueError("cannot build a report from zero completed queries")

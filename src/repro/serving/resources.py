@@ -34,6 +34,7 @@ class StageResource:
     transfer_seconds: float = 0.0
 
     def __post_init__(self) -> None:
+        """Validate the stage's resource description."""
         if self.num_servers <= 0:
             raise ValueError(f"num_servers must be positive, got {self.num_servers}")
         if self.service_seconds < 0:
@@ -60,11 +61,13 @@ class PipelinePlan:
     description: str = ""
 
     def __post_init__(self) -> None:
+        """Validate that the plan has at least one stage."""
         if not self.stages:
             raise ValueError("a pipeline plan needs at least one stage")
 
     @property
     def num_stages(self) -> int:
+        """Number of stages in the plan."""
         return len(self.stages)
 
     def unloaded_latency(self) -> float:

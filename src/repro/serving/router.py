@@ -1,0 +1,692 @@
+"""Online multi-path serving: pick the (platform, pipeline) path as load shifts.
+
+The sweep layer answers the *offline* question — which execution path is
+best at each fixed load — and emits best-platform-per-load cross-sections.
+This module turns those cross-sections into a *serving-time* policy, the
+MP-Rec-style closing of the loop the roadmap asks for:
+
+* :class:`ServingPath` — one runnable (platform, pipeline) execution path
+  with its hardware plan and platform-independent quality;
+* :class:`PathTable` — the compiled routing table: per path, a p99-vs-load
+  curve over a swept QPS grid (linearly interpolated between grid points,
+  conservative ``inf`` beyond the last feasible point) plus the decision
+  rule ``best_path(qps)`` — the highest-quality path whose interpolated p99
+  meets the SLA, degrading to latency shedding when nothing does;
+* :class:`MultiPathRouter` — the online policy: it observes offered load
+  through a sliding window (so reactions lag reality), re-consults the
+  table every step, and only commits a switch after the candidate persists
+  for ``hysteresis_steps`` consecutive decisions, charging a switch penalty
+  to every query in the step where the new path warms up;
+* :func:`route_static` / :func:`route_oracle` — the two bounding policies:
+  the single best path a planner would provision offline for the trace's
+  typical load, and the clairvoyant per-step optimum with no lag, no
+  hysteresis and free switches.
+
+Every dwell step of a routed schedule is evaluated on the closed-form
+analytic engine (:mod:`repro.serving.engine`): a steady-state arrival window
+is simulated at the step's offered load for the active path, one batched
+kernel call per (path, distinct-load) set, and per-query SLA violations,
+trace-wide weighted p99 and query-weighted quality are aggregated into a
+:class:`RoutingResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.serving.engine import (
+    SimulationConfig,
+    analytic_latencies,
+    draw_unit_arrivals,
+    spawn_seeds,
+)
+from repro.serving.resources import PipelinePlan
+from repro.serving.trace import LoadTrace
+
+if TYPE_CHECKING:  # the core layer imports serving; keep the reverse edge type-only
+    from repro.core.pipeline import PipelineConfig
+    from repro.core.scheduler import RecPipeScheduler
+    from repro.core.sweep import SweepOutcome
+
+__all__ = [
+    "MultiPathRouter",
+    "PathTable",
+    "RoutingResult",
+    "ServingPath",
+    "route_oracle",
+    "route_static",
+]
+
+
+@dataclass(frozen=True)
+class ServingPath:
+    """One runnable execution path: a pipeline mapped onto a platform.
+
+    Parameters
+    ----------
+    platform : str
+        Hardware platform name (``cpu``, ``gpu``, ``gpu-cpu``, ...).
+    pipeline : PipelineConfig
+        The multi-stage funnel this path serves.
+    plan : PipelinePlan
+        The pipeline mapped onto the platform (what the engine simulates).
+    quality : float
+        Platform-independent NDCG of the funnel, shared with the sweep memo.
+    """
+
+    platform: str
+    pipeline: PipelineConfig
+    plan: PipelinePlan
+    quality: float
+
+    @property
+    def name(self) -> str:
+        """Stable path label used in artifacts: ``platform:pipeline``."""
+        return f"{self.platform}:{self.pipeline.name}"
+
+    @property
+    def capacity_qps(self) -> float:
+        """Bottleneck-stage throughput capacity of the mapped plan."""
+        return self.plan.throughput_capacity()
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """Aggregate serving metrics of one policy over one load trace.
+
+    Attributes
+    ----------
+    policy : str
+        ``static``, ``oracle`` or ``online``.
+    trace_name : str
+        Name of the :class:`~repro.serving.trace.LoadTrace` served.
+    quality : float
+        Query-weighted mean NDCG of the paths that served the trace.
+    p99_seconds : float
+        Trace-wide query-weighted p99 latency (``inf`` when saturated
+        dwell steps hold at least 1% of the queries).
+    violation_rate : float
+        Fraction of queries whose latency exceeded the SLA (saturated
+        steps count every query as violating).
+    num_switches : int
+        Path switches committed while serving the trace.
+    total_queries : float
+        Expected queries offered by the trace.
+    path_steps : tuple[int, ...]
+        Active path index per trace step.
+    switch_steps : tuple[bool, ...]
+        Whether each step is the first of a new dwell segment.
+    occupancy : dict[str, float]
+        Fraction of queries served by each path, keyed by path name.
+    """
+
+    policy: str
+    trace_name: str
+    quality: float
+    p99_seconds: float
+    violation_rate: float
+    num_switches: int
+    total_queries: float
+    path_steps: tuple[int, ...]
+    switch_steps: tuple[bool, ...]
+    occupancy: dict[str, float]
+
+
+def _weighted_percentile(values: np.ndarray, weights: np.ndarray, q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``values`` under sample ``weights``."""
+    order = np.argsort(values)
+    values = values[order]
+    weights = weights[order]
+    cumulative = np.cumsum(weights)
+    total = cumulative[-1]
+    if total <= 0:
+        raise ValueError("weights must sum to a positive total")
+    index = int(np.searchsorted(cumulative, (q / 100.0) * total, side="left"))
+    return float(values[min(index, values.size - 1)])
+
+
+@dataclass
+class PathTable:
+    """The compiled routing table: p99-vs-load per path plus the decision rule.
+
+    A table is compiled from a finished sweep (:meth:`from_outcome`) or
+    directly from the scheduler (:meth:`compile`, one
+    :meth:`~repro.core.scheduler.RecPipeScheduler.evaluate_grid` column per
+    path).  Between swept QPS points the p99 curve is linearly interpolated;
+    beyond the last *feasible* grid point it is a conservative ``inf`` (the
+    un-swept high-load region is treated as violating), and below the first
+    grid point it clamps to the first value.
+
+    Parameters
+    ----------
+    paths : list[ServingPath]
+        The candidate execution paths, in compile order.
+    qps_grid : tuple[float, ...]
+        The swept loads backing the p99 curves, strictly increasing.
+    p99_grid : np.ndarray
+        ``(len(paths), len(qps_grid))`` p99 seconds; ``inf`` marks
+        saturated cells.
+    sla_seconds : float
+        The tail-latency SLA the decision rule enforces.
+    quality_target : float or None
+        Minimum NDCG a path needs to be routable (``None``: all paths).
+    simulation : SimulationConfig
+        Engine budget used when simulating dwell segments.
+    seed : int
+        Root seed; per-path arrival draws are spawned from it.
+    """
+
+    paths: list[ServingPath]
+    qps_grid: tuple[float, ...]
+    p99_grid: np.ndarray
+    sla_seconds: float
+    quality_target: float | None = None
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    seed: int = 0
+    _segments: dict[tuple[int, float], np.ndarray | None] = field(
+        default_factory=dict, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        """Validate the grid and precompute eligibility and per-path seeds."""
+        if not self.paths:
+            raise ValueError("a path table needs at least one path")
+        grid = tuple(float(q) for q in self.qps_grid)
+        if len(grid) < 2 or any(b <= a for a, b in zip(grid, grid[1:])):
+            raise ValueError("qps_grid must hold at least two strictly increasing loads")
+        self.qps_grid = grid
+        self.p99_grid = np.asarray(self.p99_grid, dtype=np.float64)
+        if self.p99_grid.shape != (len(self.paths), len(grid)):
+            raise ValueError(
+                "p99_grid must be (num_paths, num_qps) = "
+                f"({len(self.paths)}, {len(grid)}), got {self.p99_grid.shape}"
+            )
+        if self.sla_seconds <= 0:
+            raise ValueError("sla_seconds must be positive")
+        self._eligible = [
+            i
+            for i, path in enumerate(self.paths)
+            if self.quality_target is None or path.quality >= self.quality_target
+        ]
+        if not self._eligible:
+            raise ValueError(
+                f"no path reaches quality_target={self.quality_target}; "
+                "lower the target or widen the path set"
+            )
+        self._path_seeds = spawn_seeds(self.seed, len(self.paths))
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def compile(
+        cls,
+        scheduler: "RecPipeScheduler",
+        pipelines: Sequence[PipelineConfig],
+        platforms: Sequence[str],
+        qps_grid: Sequence[float],
+        sla_ms: float,
+        quality_target: float | None = None,
+        seed: int = 0,
+    ) -> "PathTable":
+        """Compile a table by sweeping every (platform, pipeline) path.
+
+        Quality is evaluated once per unique pipeline
+        (:meth:`~repro.core.scheduler.RecPipeScheduler.quality_map`) and each
+        path's p99 curve comes from one vectorized
+        :meth:`~repro.core.scheduler.RecPipeScheduler.evaluate_grid` column,
+        independently seeded via ``np.random.SeedSequence`` spawning.
+
+        Parameters
+        ----------
+        scheduler : RecPipeScheduler
+            Supplies quality evaluation, hardware plans and the engine.
+        pipelines : sequence of PipelineConfig
+            Candidate funnels.
+        platforms : sequence of str
+            Candidate hardware platforms; the cross product with
+            ``pipelines`` is the path set.
+        qps_grid : sequence of float
+            Loads to sweep; must bracket the loads the router will see.
+        sla_ms : float
+            Tail-latency SLA in milliseconds.
+        quality_target : float, optional
+            Minimum NDCG a path needs to be routable.
+        seed : int
+            Root seed for arrival noise.
+
+        Returns
+        -------
+        PathTable
+            The compiled table.
+        """
+        platforms = tuple(dict.fromkeys(platforms))
+        if not platforms:
+            raise ValueError("at least one platform is required")
+        qualities = scheduler.quality_map(pipelines)
+        paths: list[ServingPath] = []
+        p99_rows: list[list[float]] = []
+        column_seeds = spawn_seeds(seed, len(platforms) * len(pipelines))
+        seeds = iter(column_seeds)
+        for platform in platforms:
+            for pipeline in pipelines:
+                column = scheduler.evaluate_grid(
+                    pipeline,
+                    platform,
+                    qps_grid,
+                    quality=qualities[pipeline.name],
+                    seed=next(seeds),
+                )
+                paths.append(
+                    ServingPath(
+                        platform=platform,
+                        pipeline=pipeline,
+                        plan=scheduler.plan_for(pipeline, platform),
+                        quality=qualities[pipeline.name],
+                    )
+                )
+                p99_rows.append([e.p99_latency for e in column])
+        return cls(
+            paths=paths,
+            qps_grid=tuple(float(q) for q in qps_grid),
+            p99_grid=np.asarray(p99_rows),
+            sla_seconds=sla_ms / 1e3,
+            quality_target=quality_target,
+            simulation=scheduler.simulation,
+            seed=seed,
+        )
+
+    @classmethod
+    def from_outcome(cls, outcome: "SweepOutcome", scheduler: "RecPipeScheduler") -> "PathTable":
+        """Build a table from a finished sweep without re-simulating anything.
+
+        Every (platform, pipeline) column of ``outcome.evaluated`` becomes a
+        path; the sweep's SLA, quality target, engine budget and seed carry
+        over.  ``scheduler`` only rebuilds the hardware plans (construction
+        is cheap and plans are not serialized into sweep outcomes).
+
+        Parameters
+        ----------
+        outcome : SweepOutcome
+            A finished :func:`repro.core.sweep.run_sweep` result.
+        scheduler : RecPipeScheduler
+            Used to rebuild each path's :class:`PipelinePlan`.
+
+        Returns
+        -------
+        PathTable
+            The compiled table.
+        """
+        config = outcome.config
+        paths: list[ServingPath] = []
+        p99_rows: list[list[float]] = []
+        for platform in config.platforms:
+            for index, pipeline in enumerate(outcome.pipelines):
+                paths.append(
+                    ServingPath(
+                        platform=platform,
+                        pipeline=pipeline,
+                        plan=scheduler.plan_for(pipeline, platform),
+                        quality=outcome.quality_by_pipeline[pipeline.name],
+                    )
+                )
+                p99_rows.append(
+                    [outcome.evaluated[(platform, qps)][index].p99_latency for qps in config.qps]
+                )
+        return cls(
+            paths=paths,
+            qps_grid=config.qps,
+            p99_grid=np.asarray(p99_rows),
+            sla_seconds=config.sla_seconds,
+            quality_target=config.quality_target,
+            simulation=scheduler.simulation,
+            seed=config.seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+    def p99_at(self, path_index: int, qps: float) -> float:
+        """Interpolated p99 of one path at an arbitrary (off-grid) load.
+
+        Linear interpolation between swept grid points; any segment touching
+        a saturated (``inf``) grid point interpolates to ``inf``, loads
+        beyond the last grid point are ``inf`` (conservative: un-swept), and
+        loads below the first grid point clamp to the first value.
+
+        Parameters
+        ----------
+        path_index : int
+            Index into :attr:`paths`.
+        qps : float
+            Offered load to look up.
+
+        Returns
+        -------
+        float
+            p99 latency in seconds, possibly ``inf``.
+        """
+        if qps <= 0:
+            raise ValueError(f"qps must be positive, got {qps}")
+        row = self.p99_grid[path_index]
+        return float(np.interp(qps, self.qps_grid, row, left=row[0], right=float("inf")))
+
+    def best_path(self, qps: float) -> int:
+        """The path the table routes to at ``qps``.
+
+        Among quality-eligible paths whose interpolated p99 meets the SLA:
+        the highest quality, ties broken toward lower p99.  When no eligible
+        path meets the SLA the table degrades to latency shedding: the
+        eligible path with the lowest interpolated p99, ties broken toward
+        higher capacity (so fully saturated regimes pick the path that
+        drains fastest).
+
+        Parameters
+        ----------
+        qps : float
+            Offered load the decision is for.
+
+        Returns
+        -------
+        int
+            Index into :attr:`paths`.
+        """
+        p99s = {i: self.p99_at(i, qps) for i in self._eligible}
+        meeting = [i for i, p99 in p99s.items() if p99 <= self.sla_seconds]
+        if meeting:
+            return max(meeting, key=lambda i: (self.paths[i].quality, -p99s[i]))
+        return min(self._eligible, key=lambda i: (p99s[i], -self.paths[i].capacity_qps))
+
+    # ------------------------------------------------------------------ #
+    # Dwell-segment simulation
+    # ------------------------------------------------------------------ #
+    def _segment_latencies(self, path_index: int, qps: float) -> np.ndarray | None:
+        """Steady-state per-query latencies of one (path, load) dwell cell.
+
+        Returns ``None`` for saturated cells (offered load at or beyond the
+        engine's saturation threshold).  Results are memoized; distinct
+        loads of one path share a single unit arrival draw, so the batched
+        fill in :meth:`_fill_segments` and this scalar path produce
+        identical samples.
+        """
+        key = (path_index, float(qps))
+        if key not in self._segments:
+            self._fill_segments(path_index, [float(qps)])
+        return self._segments[key]
+
+    def _fill_segments(self, path_index: int, qps_values: Sequence[float]) -> None:
+        """Simulate every missing (path, load) cell in one batched kernel call."""
+        path = self.paths[path_index]
+        cfg = self.simulation
+        missing = [
+            q
+            for q in dict.fromkeys(float(q) for q in qps_values)
+            if (path_index, q) not in self._segments
+        ]
+        if not missing:
+            return
+        live: list[float] = []
+        for q in missing:
+            if path.plan.utilization(q) >= cfg.saturation_utilization:
+                self._segments[(path_index, q)] = None
+            else:
+                live.append(q)
+        if not live:
+            return
+        unit = draw_unit_arrivals(cfg.num_queries, self._path_seeds[path_index])
+        scales = 1.0 / np.asarray(live, dtype=np.float64)
+        arrivals = np.cumsum(unit[None, :] * scales[:, None], axis=1)
+        latencies = analytic_latencies(path.plan, arrivals)
+        for row, q in enumerate(live):
+            self._segments[(path_index, q)] = latencies[row, cfg.warmup_queries :]
+
+    def evaluate_route(
+        self,
+        trace: LoadTrace,
+        path_steps: Sequence[int],
+        switch_steps: Sequence[bool],
+        policy: str,
+        switch_penalty_seconds: float = 0.0,
+    ) -> RoutingResult:
+        """Simulate a routed schedule and aggregate its serving metrics.
+
+        Each step is a dwell slice: the active path serves a steady-state
+        arrival window at the step's offered load on the analytic engine.
+        Steps flagged in ``switch_steps`` add ``switch_penalty_seconds`` to
+        every query latency (path warm-up).  Saturated dwell cells count all
+        of their queries as SLA violations and contribute ``inf`` latency
+        mass to the trace-wide p99.
+
+        Parameters
+        ----------
+        trace : LoadTrace
+            The served load trace.
+        path_steps : sequence of int
+            Active path index per step (same length as the trace).
+        switch_steps : sequence of bool
+            Marks the first step of each new dwell segment.
+        policy : str
+            Label recorded in the result (``static``/``oracle``/``online``).
+        switch_penalty_seconds : float
+            Latency added to every query of a switch step.
+
+        Returns
+        -------
+        RoutingResult
+            Aggregated quality, p99, violation rate, switches, occupancy.
+        """
+        path_steps = list(path_steps)
+        switch_steps = list(switch_steps)
+        if len(path_steps) != trace.num_steps or len(switch_steps) != trace.num_steps:
+            raise ValueError("path_steps and switch_steps must cover every trace step")
+        queries = trace.queries_per_step()
+        total_queries = float(queries.sum())
+        for index in set(path_steps):
+            self._fill_segments(
+                index, [trace.qps[t] for t, i in enumerate(path_steps) if i == index]
+            )
+
+        violations = 0.0
+        quality_mass = 0.0
+        occupancy: dict[str, float] = {}
+        pooled_values: list[np.ndarray] = []
+        pooled_weights: list[np.ndarray] = []
+        for t, index in enumerate(path_steps):
+            path = self.paths[index]
+            weight = queries[t]
+            quality_mass += weight * path.quality
+            occupancy[path.name] = occupancy.get(path.name, 0.0) + weight
+            penalty = switch_penalty_seconds if switch_steps[t] else 0.0
+            latencies = self._segment_latencies(index, float(trace.qps[t]))
+            if latencies is None:  # saturated: every query violates
+                violations += weight
+                pooled_values.append(np.asarray([np.inf]))
+                pooled_weights.append(np.asarray([weight]))
+                continue
+            observed = latencies + penalty if penalty else latencies
+            violations += weight * float(np.mean(observed > self.sla_seconds))
+            pooled_values.append(observed)
+            pooled_weights.append(np.full(observed.size, weight / observed.size))
+        p99 = _weighted_percentile(
+            np.concatenate(pooled_values), np.concatenate(pooled_weights), 99.0
+        )
+        return RoutingResult(
+            policy=policy,
+            trace_name=trace.name,
+            quality=quality_mass / total_queries,
+            p99_seconds=p99,
+            violation_rate=violations / total_queries,
+            num_switches=int(sum(switch_steps[1:])),
+            total_queries=total_queries,
+            path_steps=tuple(path_steps),
+            switch_steps=tuple(bool(s) for s in switch_steps),
+            occupancy={name: mass / total_queries for name, mass in occupancy.items()},
+        )
+
+
+def route_static(
+    table: PathTable, trace: LoadTrace, planning_qps: float | None = None
+) -> RoutingResult:
+    """Serve the whole trace on the single path provisioned offline.
+
+    The static baseline is what a planner reads off the sweep today: the
+    best path at the trace's *typical* load (its median, unless
+    ``planning_qps`` overrides it), kept for every step regardless of how
+    far the load drifts from the plan.
+
+    Parameters
+    ----------
+    table : PathTable
+        The compiled routing table.
+    trace : LoadTrace
+        The load trace to serve.
+    planning_qps : float, optional
+        The load the static path is provisioned for (default: trace median).
+
+    Returns
+    -------
+    RoutingResult
+        Metrics of the static path over the trace.
+    """
+    provisioned = trace.median_qps() if planning_qps is None else float(planning_qps)
+    index = table.best_path(provisioned)
+    steps = [index] * trace.num_steps
+    return table.evaluate_route(trace, steps, [False] * trace.num_steps, policy="static")
+
+
+def route_oracle(table: PathTable, trace: LoadTrace) -> RoutingResult:
+    """Serve the trace with clairvoyant per-step path selection.
+
+    The oracle sees each step's true offered load before serving it and
+    switches instantly and for free — the upper bound online policies chase.
+
+    Parameters
+    ----------
+    table : PathTable
+        The compiled routing table.
+    trace : LoadTrace
+        The load trace to serve.
+
+    Returns
+    -------
+    RoutingResult
+        Metrics of the clairvoyant policy over the trace.
+    """
+    steps = [table.best_path(float(q)) for q in trace.qps]
+    switches = [False] + [a != b for a, b in zip(steps, steps[1:])]
+    return table.evaluate_route(trace, steps, switches, policy="oracle")
+
+
+@dataclass
+class MultiPathRouter:
+    """The online policy: windowed load observation, hysteresis, switch cost.
+
+    The router never sees the future: its load estimate for step ``t`` is
+    the mean of the last ``window`` *observed* steps (``t - window .. t-1``),
+    so reactions lag reality by construction.  A switch is only committed
+    once the table proposes the same non-current path for
+    ``hysteresis_steps`` consecutive decisions — noise straddling a path
+    boundary therefore cannot flap the system — and the first step served
+    by a new path charges ``switch_penalty_seconds`` to every query (state
+    migration, cache warm-up).
+
+    Parameters
+    ----------
+    table : PathTable
+        The compiled routing table decisions are read from.
+    window : int
+        Sliding-window length (steps) of the load estimator.
+    hysteresis_steps : int
+        Consecutive identical proposals required before switching.
+    switch_penalty_seconds : float
+        Warm-up latency charged to every query of a switch step.
+    """
+
+    table: PathTable
+    window: int = 5
+    hysteresis_steps: int = 2
+    switch_penalty_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        """Validate the policy knobs."""
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.hysteresis_steps <= 0:
+            raise ValueError("hysteresis_steps must be positive")
+        if self.switch_penalty_seconds < 0:
+            raise ValueError("switch_penalty_seconds must be non-negative")
+
+    def estimate_qps(self, trace: LoadTrace, step: int) -> float:
+        """The router's load estimate entering ``step`` (lagged window mean).
+
+        Step 0 bootstraps from the trace's first load (the provisioning
+        estimate a deployment starts from); later steps average the last
+        ``window`` observed steps and never peek at the current one.
+        """
+        if step == 0:
+            return float(trace.qps[0])
+        lo = max(0, step - self.window)
+        return float(np.mean(trace.qps[lo:step]))
+
+    def decide(self, trace: LoadTrace) -> tuple[list[int], list[bool]]:
+        """Run the decision loop alone (no simulation): paths and switch flags.
+
+        This is the serving-time hot path the routing-overhead benchmark
+        measures; it touches only the compiled table, never the engine.
+
+        Parameters
+        ----------
+        trace : LoadTrace
+            The observed load series.
+
+        Returns
+        -------
+        tuple[list[int], list[bool]]
+            Per-step active path indices and switch markers.
+        """
+        current = self.table.best_path(self.estimate_qps(trace, 0))
+        steps = [current]
+        switches = [False]
+        pending: int | None = None
+        streak = 0
+        for t in range(1, trace.num_steps):
+            candidate = self.table.best_path(self.estimate_qps(trace, t))
+            if candidate == current:
+                pending, streak = None, 0
+            elif candidate == pending:
+                streak += 1
+            else:
+                pending, streak = candidate, 1
+            if pending is not None and streak >= self.hysteresis_steps:
+                current = pending
+                pending, streak = None, 0
+                switches.append(True)
+            else:
+                switches.append(False)
+            steps.append(current)
+        return steps, switches
+
+    def route(self, trace: LoadTrace) -> RoutingResult:
+        """Decide and simulate the whole trace online.
+
+        Parameters
+        ----------
+        trace : LoadTrace
+            The load trace to serve.
+
+        Returns
+        -------
+        RoutingResult
+            Metrics of the online policy, switch penalties included.
+        """
+        steps, switches = self.decide(trace)
+        return self.table.evaluate_route(
+            trace,
+            steps,
+            switches,
+            policy="online",
+            switch_penalty_seconds=self.switch_penalty_seconds,
+        )

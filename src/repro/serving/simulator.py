@@ -108,6 +108,7 @@ class ServingSimulator:
         unit = draw_unit_arrivals(cfg.num_queries, cfg.seed)
 
         def probe(qps: float) -> LatencyReport:
+            """One binary-search probe sharing the outer arrival draw."""
             arrivals = arrivals_at_qps(unit, qps)
             return build_report(self.plan, cfg, qps, arrivals, self._latencies(arrivals))
 

@@ -305,3 +305,83 @@ class TestArtifactHelpers:
         stripped = artifacts.strip_timing(manifest)
         assert stripped["experiments"] == [{"id": "fig01", "json": "x"}]
         assert manifest["experiments"][0]["wall_clock_seconds"] == 1.5
+
+
+class TestListMarkdown:
+    def test_markdown_table_lists_every_experiment(self, capsys):
+        assert cli.main(["list", "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert lines[0] == "| id | title | paper ref | tags | module |"
+        assert lines[1] == "| --- | --- | --- | --- | --- |"
+        assert len(lines) == 2 + len(default_registry())
+        for spec in default_registry():
+            assert f"| `{spec.id}` |" in out
+            assert spec.module in out
+
+    def test_markdown_matches_format_helper(self, capsys):
+        assert cli.main(["list", "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        specs = default_registry().select()
+        assert out.strip() == cli.format_markdown_listing(specs)
+
+
+class TestRoute:
+    ROUTE_ARGS = [
+        "route",
+        "--trace",
+        "spike",
+        "--steps",
+        "40",
+        "--num-queries",
+        "200",
+        "--qps-grid",
+        "100,1000,2500,4000,5500,6000",
+        "--pool",
+        "256",
+    ]
+
+    def test_route_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "route"
+        code = cli.main(self.ROUTE_ARGS + ["--output-dir", str(out_dir), "--quiet"])
+        assert code == 0
+        manifest = artifacts.load_manifest(out_dir)
+        assert manifest["command"] == "route"
+        assert manifest["config"]["window"] == 3
+        assert [e["id"] for e in manifest["experiments"]] == ["route", "route_steps"]
+        payload = artifacts.load_result_json(out_dir / "route.json")
+        assert {row["policy"] for row in payload["rows"]} == {"static", "oracle", "online"}
+        for key in ("trace", "quality_ndcg", "p99_ms", "sla_violation_rate", "num_switches"):
+            assert key in payload["rows"][0]
+        steps = artifacts.load_result_json(out_dir / "route_steps.json")
+        assert len(steps["rows"]) == 40
+        assert {row["trace"] for row in steps["rows"]} == {"spike"}
+        for key in ("step", "qps", "estimated_qps", "path", "switch"):
+            assert key in steps["rows"][0]
+
+    def test_route_deterministic_under_fixed_seed(self, tmp_path):
+        dirs = [tmp_path / "a", tmp_path / "b"]
+        for out_dir in dirs:
+            assert (
+                cli.main(
+                    self.ROUTE_ARGS + ["--seed", "3", "--output-dir", str(out_dir), "--quiet"]
+                )
+                == 0
+            )
+        payloads = [artifacts.load_result_json(d / "route.json") for d in dirs]
+        assert _strip_wall_clock(payloads[0]) == _strip_wall_clock(payloads[1])
+        step_logs = [(d / "route_steps.csv").read_text() for d in dirs]
+        assert step_logs[0] == step_logs[1]
+
+    def test_unknown_trace_is_an_error(self, capsys):
+        assert cli.main(["route", "--trace", "tsunami"]) == 2
+        assert "tsunami" in capsys.readouterr().err
+
+    def test_online_beats_static_on_spike_violations(self, tmp_path):
+        out_dir = tmp_path / "route"
+        assert cli.main(self.ROUTE_ARGS + ["--output-dir", str(out_dir), "--quiet"]) == 0
+        rows = artifacts.load_result_json(out_dir / "route.json")["rows"]
+        by_policy = {row["policy"]: row for row in rows}
+        static, oracle, online = (by_policy[p] for p in ("static", "oracle", "online"))
+        assert online["sla_violation_rate"] < static["sla_violation_rate"]
+        assert oracle["sla_violation_rate"] <= online["sla_violation_rate"]

@@ -21,6 +21,7 @@ class TestRunner:
             "fig13",
             "fig14",
             "sweepmp",  # cross-platform sweep (Figures 8-10 comparison)
+            "router",  # online multi-path serving router (MP-Rec-style)
             "bench-sim",  # simulator engine benchmark (event vs analytic)
         }
         assert set(runner.EXPERIMENTS) == expected

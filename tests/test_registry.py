@@ -24,6 +24,7 @@ ALL_IDS = [
     "fig13",
     "fig14",
     "sweepmp",
+    "router",
     "bench-sim",
 ]
 
@@ -50,7 +51,7 @@ class TestDefaultRegistry:
     def test_covers_every_paper_artifact(self):
         registry = default_registry()
         assert registry.ids() == ALL_IDS
-        assert len(registry) == 13
+        assert len(registry) == 14
 
     def test_every_spec_has_metadata(self):
         for spec in default_registry():

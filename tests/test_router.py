@@ -1,0 +1,334 @@
+"""Tests for online multi-path serving (``repro.serving.router``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PipelineConfig, Stage, enumerate_pipelines
+from repro.core.scheduler import RecPipeScheduler
+from repro.core.sweep import SweepConfig, run_sweep
+from repro.data import CriteoConfig, CriteoSynthetic
+from repro.models.zoo import RM_LARGE, RM_SMALL, criteo_model_specs
+from repro.quality import QualityEvaluator
+from repro.serving.resources import PipelinePlan, StageResource
+from repro.serving.router import (
+    MultiPathRouter,
+    PathTable,
+    ServingPath,
+    route_oracle,
+    route_static,
+)
+from repro.serving.simulator import SimulationConfig
+from repro.serving.trace import LoadTrace, spike_trace
+
+
+# --------------------------------------------------------------------------- #
+# Synthetic two-path table: a high-quality path that saturates at ~3.1k QPS
+# and a fast lower-quality path with ample headroom.
+# --------------------------------------------------------------------------- #
+def make_path(platform: str, model, service_ms: float, servers: int, quality: float):
+    pipeline = PipelineConfig((Stage(model, 128),), serve_k=64)
+    plan = PipelinePlan(
+        platform=platform,
+        stages=[
+            StageResource(
+                name=f"{platform}:stage",
+                num_servers=servers,
+                service_seconds=service_ms * 1e-3,
+            )
+        ],
+    )
+    return ServingPath(platform=platform, pipeline=pipeline, plan=plan, quality=quality)
+
+
+GRID = (100.0, 1000.0, 2000.0, 3000.0, 5000.0)
+HQ_ROW = (0.010, 0.0102, 0.0105, 0.011, float("inf"))
+FAST_ROW = (0.002, 0.002, 0.002, 0.002, 0.002)
+
+
+def make_table(quality_target=None, sla_ms=25.0, **kwargs) -> PathTable:
+    hq = make_path("cpu", RM_LARGE, service_ms=10.0, servers=32, quality=98.0)
+    fast = make_path("cpu", RM_SMALL, service_ms=2.0, servers=32, quality=95.0)
+    return PathTable(
+        paths=[hq, fast],
+        qps_grid=GRID,
+        p99_grid=np.array([HQ_ROW, FAST_ROW]),
+        sla_seconds=sla_ms / 1e3,
+        quality_target=quality_target,
+        simulation=SimulationConfig(num_queries=600, warmup_queries=60),
+        **kwargs,
+    )
+
+
+def flat_trace(qps: float, num_steps: int = 20, step_seconds: float = 10.0) -> LoadTrace:
+    return LoadTrace("flat", step_seconds, np.full(num_steps, float(qps)))
+
+
+class TestPathTableValidation:
+    def test_needs_paths_and_increasing_grid(self):
+        hq = make_path("cpu", RM_LARGE, 10.0, 32, 98.0)
+        with pytest.raises(ValueError, match="at least one path"):
+            PathTable(paths=[], qps_grid=GRID, p99_grid=np.zeros((0, 5)), sla_seconds=0.025)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PathTable(
+                paths=[hq],
+                qps_grid=(100.0, 100.0),
+                p99_grid=np.zeros((1, 2)),
+                sla_seconds=0.025,
+            )
+
+    def test_p99_grid_shape_checked(self):
+        hq = make_path("cpu", RM_LARGE, 10.0, 32, 98.0)
+        with pytest.raises(ValueError, match="p99_grid"):
+            PathTable(paths=[hq], qps_grid=GRID, p99_grid=np.zeros((2, 5)), sla_seconds=0.025)
+
+    def test_unreachable_quality_target_rejected(self):
+        with pytest.raises(ValueError, match="quality_target"):
+            make_table(quality_target=99.5)
+
+
+class TestInterpolation:
+    def test_off_grid_interpolates_linearly(self):
+        table = make_table()
+        expected = float(np.interp(1500.0, GRID, np.asarray(HQ_ROW)))
+        assert table.p99_at(0, 1500.0) == pytest.approx(expected)
+        assert HQ_ROW[1] < table.p99_at(0, 1500.0) < HQ_ROW[2]
+
+    def test_below_grid_clamps_to_first_point(self):
+        table = make_table()
+        assert table.p99_at(0, 10.0) == pytest.approx(HQ_ROW[0])
+
+    def test_beyond_grid_is_conservatively_infinite(self):
+        table = make_table()
+        assert table.p99_at(1, 10000.0) == float("inf")
+
+    def test_segment_into_saturated_point_is_infinite(self):
+        table = make_table()
+        assert table.p99_at(0, 4000.0) == float("inf")
+
+    def test_non_positive_qps_rejected(self):
+        with pytest.raises(ValueError):
+            make_table().p99_at(0, 0.0)
+
+
+class TestBestPath:
+    def test_prefers_quality_when_sla_met(self):
+        table = make_table()
+        assert table.best_path(1000.0) == 0  # hq meets the SLA and wins on quality
+
+    def test_switches_to_fast_path_when_hq_saturates(self):
+        table = make_table()
+        assert table.best_path(4000.0) == 1
+
+    def test_quality_tie_breaks_toward_lower_p99(self):
+        hq = make_path("cpu", RM_LARGE, 10.0, 32, 98.0)
+        twin = make_path("accel", RM_LARGE, 2.0, 32, 98.0)
+        table = PathTable(
+            paths=[hq, twin],
+            qps_grid=GRID,
+            p99_grid=np.array([HQ_ROW, FAST_ROW]),
+            sla_seconds=0.025,
+        )
+        assert table.best_path(1000.0) == 1
+
+    def test_quality_target_restricts_eligibility(self):
+        table = make_table(quality_target=96.0)
+        # Only the hq path is eligible; even where it misses the SLA the
+        # table degrades within the eligible set instead of dropping quality.
+        assert table.best_path(1000.0) == 0
+        assert table.best_path(4000.0) == 0
+
+    def test_sheds_latency_when_nothing_meets_sla(self):
+        table = make_table(sla_ms=1.0)  # nobody meets 1 ms
+        assert table.best_path(1000.0) == 1  # lowest interpolated p99 wins
+
+
+class TestEvaluateRoute:
+    def test_static_on_feasible_path_has_zero_violations(self):
+        table = make_table()
+        trace = flat_trace(1000.0)
+        result = route_static(table, trace)
+        assert result.policy == "static"
+        assert result.violation_rate == 0.0
+        assert result.quality == pytest.approx(98.0)
+        assert result.num_switches == 0
+        assert result.p99_seconds < table.sla_seconds
+        assert result.occupancy == {table.paths[0].name: pytest.approx(1.0)}
+
+    def test_saturated_steps_violate_entirely(self):
+        table = make_table()
+        trace = flat_trace(4000.0)
+        steps = [0] * trace.num_steps  # pin the saturated hq path
+        result = table.evaluate_route(trace, steps, [False] * trace.num_steps, policy="static")
+        assert result.violation_rate == pytest.approx(1.0)
+        assert result.p99_seconds == float("inf")
+
+    def test_length_mismatch_rejected(self):
+        table = make_table()
+        trace = flat_trace(1000.0, num_steps=5)
+        with pytest.raises(ValueError, match="every trace step"):
+            table.evaluate_route(trace, [0, 0], [False] * 5, policy="x")
+
+    def test_switch_penalty_can_push_queries_over_the_sla(self):
+        table = make_table()
+        trace = flat_trace(1000.0, num_steps=4)
+        steps = [0, 0, 1, 1]
+        switches = [False, False, True, False]
+        cheap = table.evaluate_route(trace, steps, switches, policy="online")
+        costly = table.evaluate_route(
+            trace, steps, switches, policy="online", switch_penalty_seconds=0.05
+        )
+        assert cheap.violation_rate == 0.0
+        assert costly.violation_rate == pytest.approx(0.25)  # the switch step violates
+        assert costly.num_switches == cheap.num_switches == 1
+
+    def test_occupancy_weights_by_queries(self):
+        table = make_table()
+        trace = LoadTrace("two", 10.0, np.array([1000.0, 3000.0]))
+        result = table.evaluate_route(trace, [0, 1], [False, True], policy="online")
+        assert result.occupancy[table.paths[0].name] == pytest.approx(0.25)
+        assert result.occupancy[table.paths[1].name] == pytest.approx(0.75)
+
+
+class TestHysteresis:
+    def boundary_trace(self, num_steps: int = 61) -> LoadTrace:
+        # Oscillate around the hq path's feasibility boundary (~3.1k QPS):
+        # every other step proposes a different best path.
+        qps = np.where(np.arange(num_steps) % 2 == 0, 2800.0, 3600.0)
+        return LoadTrace("noisy", 10.0, qps.astype(np.float64))
+
+    def test_hysteresis_prevents_flapping(self):
+        table = make_table()
+        trace = self.boundary_trace()
+        naive = MultiPathRouter(table, window=1, hysteresis_steps=1)
+        damped = MultiPathRouter(table, window=1, hysteresis_steps=3)
+        _, naive_switches = naive.decide(trace)
+        _, damped_switches = damped.decide(trace)
+        assert sum(naive_switches) >= trace.num_steps // 2 - 1  # flaps every other step
+        assert sum(damped_switches) == 0  # the streak never survives the noise
+
+    def test_window_smoothing_alone_damps_oscillation(self):
+        table = make_table()
+        trace = self.boundary_trace()
+        smoothed = MultiPathRouter(table, window=6, hysteresis_steps=1)
+        _, switches = smoothed.decide(trace)
+        # The windowed mean (~3.2k) straddles the boundary far less often.
+        assert sum(switches) <= 4
+
+    def test_sustained_shift_still_switches(self):
+        table = make_table()
+        qps = np.concatenate([np.full(10, 1000.0), np.full(10, 4000.0)])
+        trace = LoadTrace("shift", 10.0, qps)
+        router = MultiPathRouter(table, window=2, hysteresis_steps=2)
+        steps, switches = router.decide(trace)
+        assert steps[0] == 0 and steps[-1] == 1
+        assert sum(switches) == 1
+
+    def test_knob_validation(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            MultiPathRouter(table, window=0)
+        with pytest.raises(ValueError):
+            MultiPathRouter(table, hysteresis_steps=0)
+        with pytest.raises(ValueError):
+            MultiPathRouter(table, switch_penalty_seconds=-1.0)
+
+
+class TestPolicyOrdering:
+    def spike(self) -> LoadTrace:
+        return spike_trace(
+            num_steps=80,
+            step_seconds=10.0,
+            base_qps=1000.0,
+            spike_qps=4200.0,
+            spike_start=30,
+            spike_steps=15,
+            noise=0.02,
+            seed=5,
+        )
+
+    def test_oracle_beats_online_beats_static_on_violation_rate(self):
+        table = make_table()
+        trace = self.spike()
+        static = route_static(table, trace)
+        oracle = route_oracle(table, trace)
+        online = MultiPathRouter(
+            table, window=3, hysteresis_steps=2, switch_penalty_seconds=5e-3
+        ).route(trace)
+        assert oracle.violation_rate <= online.violation_rate <= static.violation_rate
+        assert online.violation_rate < static.violation_rate  # the headline claim
+        assert static.num_switches == 0
+        assert online.num_switches >= 1
+
+    def test_online_quality_stays_near_oracle(self):
+        table = make_table()
+        trace = self.spike()
+        oracle = route_oracle(table, trace)
+        online = MultiPathRouter(table, window=3, hysteresis_steps=2).route(trace)
+        assert online.quality >= oracle.quality * (1.0 - 1e-3)
+
+    def test_static_provisions_for_the_median_load(self):
+        table = make_table()
+        trace = self.spike()  # median sits at the base load
+        result = route_static(table, trace)
+        assert set(result.path_steps) == {table.best_path(trace.median_qps())}
+
+
+class TestCompiledTables:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        queries = CriteoSynthetic(CriteoConfig(table_size=400)).sample_ranking_queries(
+            3, candidates_per_query=512
+        )
+        evaluator = QualityEvaluator(queries)
+        simulation = SimulationConfig.with_budget(300, seed=0)
+        scheduler = RecPipeScheduler(evaluator, simulation=simulation)
+        pipelines = enumerate_pipelines(
+            criteo_model_specs(),
+            first_stage_items=(512,),
+            later_stage_items=(128,),
+            max_stages=2,
+            serve_k=64,
+        )
+        return scheduler, pipelines
+
+    def test_compile_matches_sweep_outcome(self, workload):
+        """`compile` and `from_outcome` derive the same table from one seed."""
+        scheduler, pipelines = workload
+        config = SweepConfig(
+            platforms=("cpu", "rpaccel"),
+            qps=(250.0, 1000.0, 4000.0),
+            first_stage_items=(512,),
+            later_stage_items=(128,),
+            max_stages=2,
+            num_queries=300,
+            seed=0,
+        )
+        outcome = run_sweep(scheduler.evaluator, criteo_model_specs(), config)
+        compiled = PathTable.compile(
+            scheduler,
+            outcome.pipelines,
+            config.platforms,
+            config.qps,
+            sla_ms=config.sla_ms,
+            seed=config.seed,
+        )
+        derived = PathTable.from_outcome(outcome, scheduler)
+        assert [p.name for p in compiled.paths] == [p.name for p in derived.paths]
+        np.testing.assert_allclose(compiled.p99_grid, derived.p99_grid)
+        assert compiled.sla_seconds == derived.sla_seconds
+
+    def test_compiled_table_routes_by_load_regime(self, workload):
+        scheduler, pipelines = workload
+        table = PathTable.compile(
+            scheduler,
+            pipelines,
+            ("cpu",),
+            (250.0, 1000.0, 4000.0, 8000.0),
+            sla_ms=25.0,
+            seed=0,
+        )
+        low = table.paths[table.best_path(300.0)]
+        high = table.paths[table.best_path(7500.0)]
+        # Under pressure the router gives up quality for feasibility.
+        assert high.quality <= low.quality
+        assert high.capacity_qps > low.capacity_qps

@@ -239,6 +239,20 @@ class TestCrossPlatformCrossSections:
                     "best_platform_under_sla"):
             assert all(key in row for row in rows)
 
+    def test_rows_record_the_engine_used(self, multi_outcome):
+        """Result rows are self-describing: each carries the engine that
+        produced it, so mixed-engine artifact files stay disambiguated."""
+        assert all(row["engine"] == "analytic" for row in multi_outcome.rows())
+        assert all(row["engine"] == "analytic" for row in multi_outcome.frontier_rows())
+        assert any("engine analytic" in line for line in multi_outcome.summary_lines())
+        event = run_sweep(
+            make_evaluator(),
+            criteo_model_specs(),
+            SweepConfig(platforms=("cpu",), qps=(250.0,), engine="event", **SMALL_GRID),
+        )
+        assert all(row["engine"] == "event" for row in event.rows())
+        assert all(row["engine"] == "event" for row in event.frontier_rows())
+
     def test_platform_rows_filter(self, multi_outcome):
         cpu_rows = multi_outcome.platform_rows("cpu")
         assert cpu_rows

@@ -1,0 +1,100 @@
+"""Tests for the load-trace generators (``repro.serving.trace``)."""
+
+import numpy as np
+import pytest
+
+from repro.serving.trace import (
+    TRACES,
+    LoadTrace,
+    diurnal_trace,
+    make_trace,
+    ramp_trace,
+    spike_trace,
+)
+
+
+class TestLoadTrace:
+    def test_basic_properties(self):
+        trace = LoadTrace("t", step_seconds=30.0, qps=np.array([100.0, 200.0, 300.0]))
+        assert trace.num_steps == 3
+        assert trace.duration_seconds == 90.0
+        assert trace.total_queries() == pytest.approx(30.0 * 600.0)
+        assert trace.mean_qps() == pytest.approx(200.0)
+        assert trace.median_qps() == pytest.approx(200.0)
+        assert trace.peak_qps() == pytest.approx(300.0)
+
+    def test_rejects_bad_series(self):
+        with pytest.raises(ValueError):
+            LoadTrace("t", step_seconds=1.0, qps=np.array([]))
+        with pytest.raises(ValueError):
+            LoadTrace("t", step_seconds=1.0, qps=np.array([100.0, 0.0]))
+        with pytest.raises(ValueError):
+            LoadTrace("t", step_seconds=0.0, qps=np.array([100.0]))
+
+    def test_qps_array_is_frozen(self):
+        trace = LoadTrace("t", step_seconds=1.0, qps=np.array([100.0, 200.0]))
+        with pytest.raises(ValueError):
+            trace.qps[0] = 1.0
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(TRACES))
+    def test_deterministic_under_fixed_seed(self, name):
+        first = make_trace(name, seed=7)
+        second = make_trace(name, seed=7)
+        assert first.name == name
+        np.testing.assert_array_equal(first.qps, second.qps)
+
+    @pytest.mark.parametrize("name", sorted(TRACES))
+    def test_different_seed_different_noise(self, name):
+        assert not np.array_equal(make_trace(name, seed=0).qps, make_trace(name, seed=1).qps)
+
+    @pytest.mark.parametrize("name", sorted(TRACES))
+    def test_loads_stay_positive(self, name):
+        assert np.all(make_trace(name, seed=3).qps > 0)
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace"):
+            make_trace("tsunami")
+
+    def test_diurnal_shape(self):
+        trace = diurnal_trace(num_steps=48, base_qps=100.0, peak_qps=900.0, noise=0.0)
+        assert trace.qps[0] == pytest.approx(100.0)
+        assert trace.peak_qps() == pytest.approx(900.0, rel=1e-3)
+        assert np.argmax(trace.qps) == 24  # peak at the midpoint
+        with pytest.raises(ValueError, match="peak_qps"):
+            diurnal_trace(base_qps=500.0, peak_qps=100.0)
+
+    def test_spike_shape(self):
+        trace = spike_trace(
+            num_steps=60,
+            base_qps=100.0,
+            spike_qps=1000.0,
+            spike_start=20,
+            spike_steps=10,
+            decay_steps=5,
+            noise=0.0,
+        )
+        assert np.all(trace.qps[:20] == 100.0)
+        assert np.all(trace.qps[20:30] == 1000.0)
+        # Exponential decay back toward base, never undershooting it.
+        tail = trace.qps[30:]
+        assert np.all(np.diff(tail) < 0)
+        assert np.all(tail > 100.0)
+        with pytest.raises(ValueError, match="spike_start"):
+            spike_trace(num_steps=10, spike_start=10)
+
+    def test_ramp_shape(self):
+        rising = ramp_trace(num_steps=10, start_qps=100.0, end_qps=1000.0, noise=0.0)
+        assert rising.qps[0] == pytest.approx(100.0)
+        assert rising.qps[-1] == pytest.approx(1000.0)
+        assert np.all(np.diff(rising.qps) > 0)
+        falling = ramp_trace(num_steps=10, start_qps=1000.0, end_qps=100.0, noise=0.0)
+        assert np.all(np.diff(falling.qps) < 0)
+
+    def test_noise_is_multiplicative_around_shape(self):
+        clean = ramp_trace(num_steps=200, start_qps=500.0, end_qps=500.0, noise=0.0)
+        noisy = ramp_trace(num_steps=200, start_qps=500.0, end_qps=500.0, noise=0.05, seed=1)
+        assert np.all(clean.qps == 500.0)
+        assert noisy.mean_qps() == pytest.approx(500.0, rel=0.02)
+        assert np.std(noisy.qps) > 0
