@@ -48,6 +48,11 @@ SWEEP_DATASETS = ("criteo", "movielens-1m", "movielens-20m")
 # Argument parsing
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
+    # Policy knob defaults are read from the router dataclass so the CLI,
+    # the registry experiment and the library cannot drift apart.
+    from repro.serving.estimators import EWMA, ESTIMATORS
+    from repro.serving.router import MultiPathRouter
+
     parser = argparse.ArgumentParser(
         prog=PROG,
         description="RecPipe reproduction: run experiments and design-space sweeps.",
@@ -219,12 +224,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--noise", type=float, default=0.03, help="relative per-step load noise"
     )
     route_parser.add_argument(
-        "--window", type=int, default=3, help="sliding-window length of the load estimator"
+        "--estimator",
+        default="windowed",
+        choices=tuple(ESTIMATORS),
+        help=(
+            "online load estimator: reactive windowed mean (default), "
+            "EWMA, or Holt level+trend (predictive)"
+        ),
+    )
+    route_parser.add_argument(
+        "--window",
+        type=int,
+        default=MultiPathRouter.window,
+        help="sliding-window length of the windowed-mean load estimator",
+    )
+    route_parser.add_argument(
+        "--ewma-alpha",
+        type=float,
+        default=EWMA.alpha,
+        help="EWMA smoothing factor in (0, 1] (used with --estimator ewma)",
     )
     route_parser.add_argument(
         "--hysteresis",
         type=int,
-        default=2,
+        default=MultiPathRouter.hysteresis_steps,
         help="consecutive identical proposals required before switching",
     )
     route_parser.add_argument(
@@ -232,6 +255,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="warm-up latency charged to every query of a switch step",
+    )
+    route_parser.add_argument(
+        "--switch-cost-ms",
+        type=float,
+        default=MultiPathRouter.switch_cost_seconds * 1e3,
+        help=(
+            "predicted p99 gain (ms, accumulated over the expected dwell) a "
+            "shedding switch must repay before it is committed; 0 disables the gate"
+        ),
+    )
+    route_parser.add_argument(
+        "--planning-qps",
+        type=float,
+        default=None,
+        help=(
+            "provision the static baseline for this load instead of the "
+            "trace's median (must be positive)"
+        ),
     )
     route_parser.add_argument("--seed", type=int, default=0, help="simulation + trace seed")
     route_parser.add_argument(
@@ -527,6 +568,13 @@ def _route_traces(args: argparse.Namespace) -> list:
     return [builders[name]() for name in names]
 
 
+def _route_estimator(args: argparse.Namespace):
+    """Build the requested load estimator from the CLI knobs."""
+    from repro.serving.estimators import estimator_from_knobs
+
+    return estimator_from_knobs(args.estimator, window=args.window, ewma_alpha=args.ewma_alpha)
+
+
 def cmd_route(args: argparse.Namespace) -> int:
     from repro.core.pipeline import enumerate_pipelines
     from repro.core.scheduler import RecPipeScheduler
@@ -570,16 +618,20 @@ def cmd_route(args: argparse.Namespace) -> int:
         window=args.window,
         hysteresis_steps=args.hysteresis,
         switch_penalty_seconds=args.switch_penalty_ms / 1e3,
+        estimator=_route_estimator(args),
+        switch_cost_seconds=args.switch_cost_ms / 1e3,
     )
 
     traces = _route_traces(args)
     result = ExperimentResult(name=f"route_{args.dataset}")
     steps_result = ExperimentResult(name=f"route_{args.dataset}_steps")
     for trace in traces:
-        routings = compare_policies(table, trace, router=router)
-        for routing in routings.values():
-            result.add(**result_row(trace, routing))
+        routings = compare_policies(table, trace, router=router, planning_qps=args.planning_qps)
+        for policy, routing in routings.items():
+            estimator = args.estimator if policy == "online" else "-"
+            result.add(**result_row(trace, routing, estimator=estimator))
         online = routings["online"]
+        estimates = router.estimate_series(trace)
         for step, (path_index, switched) in enumerate(
             zip(online.path_steps, online.switch_steps)
         ):
@@ -588,7 +640,7 @@ def cmd_route(args: argparse.Namespace) -> int:
                 trace=trace.name,
                 step=step,
                 qps=float(trace.qps[step]),
-                estimated_qps=router.estimate_qps(trace, step),
+                estimated_qps=float(estimates[step]),
                 platform=path.platform,
                 pipeline=path.pipeline.name,
                 path=path.name,
@@ -619,9 +671,13 @@ def cmd_route(args: argparse.Namespace) -> int:
             "base_qps": args.base_qps,
             "peak_qps": args.peak_qps,
             "noise": args.noise,
+            "estimator": args.estimator,
             "window": args.window,
+            "ewma_alpha": args.ewma_alpha,
             "hysteresis": args.hysteresis,
             "switch_penalty_ms": args.switch_penalty_ms,
+            "switch_cost_ms": args.switch_cost_ms,
+            "planning_qps": args.planning_qps,
             "num_queries": args.num_queries,
             "pool": pool,
         }

@@ -16,12 +16,15 @@ tail latency and sustained throughput.  This package provides
   :func:`~repro.serving.engine.simulate_grid` entry point,
 * :class:`~repro.serving.metrics.LatencyReport` and helpers for percentiles
   and sustained-throughput search,
-* :mod:`repro.serving.trace` / :mod:`repro.serving.router` -- the online
-  serving layer: time-varying load traces
-  (:func:`~repro.serving.trace.diurnal_trace`,
+* :mod:`repro.serving.trace` / :mod:`repro.serving.estimators` /
+  :mod:`repro.serving.router` -- the online serving layer: time-varying
+  load traces (:func:`~repro.serving.trace.diurnal_trace`,
   :func:`~repro.serving.trace.spike_trace`,
-  :func:`~repro.serving.trace.ramp_trace`) and MP-Rec-style serving-time
-  path selection (:class:`~repro.serving.router.PathTable`,
+  :func:`~repro.serving.trace.ramp_trace`), pluggable causal load
+  estimators (:class:`~repro.serving.estimators.WindowedMean`,
+  :class:`~repro.serving.estimators.EWMA`,
+  :class:`~repro.serving.estimators.HoltTrend`) and MP-Rec-style
+  serving-time path selection (:class:`~repro.serving.router.PathTable`,
   :class:`~repro.serving.router.MultiPathRouter`).
 """
 
@@ -32,6 +35,15 @@ from repro.serving.engine import (
     analytic_latencies,
     event_latencies,
     simulate_grid,
+)
+from repro.serving.estimators import (
+    ESTIMATORS,
+    EWMA,
+    HoltTrend,
+    LoadEstimator,
+    WindowedMean,
+    estimator_from_knobs,
+    make_estimator,
 )
 from repro.serving.metrics import LatencyReport, makespan_seconds, percentile
 from repro.serving.resources import PipelinePlan, StageResource
@@ -67,6 +79,13 @@ __all__ = [
     "event_latencies",
     "simulate_grid",
     "sweep_load",
+    "LoadEstimator",
+    "WindowedMean",
+    "EWMA",
+    "HoltTrend",
+    "ESTIMATORS",
+    "make_estimator",
+    "estimator_from_knobs",
     "LoadTrace",
     "TRACES",
     "diurnal_trace",

@@ -8,15 +8,24 @@ MP-Rec-style closing of the loop the roadmap asks for:
 * :class:`ServingPath` — one runnable (platform, pipeline) execution path
   with its hardware plan and platform-independent quality;
 * :class:`PathTable` — the compiled routing table: per path, a p99-vs-load
-  curve over a swept QPS grid (linearly interpolated between grid points,
-  conservative ``inf`` beyond the last feasible point) plus the decision
-  rule ``best_path(qps)`` — the highest-quality path whose interpolated p99
+  curve over a swept QPS grid.  Each path's *feasible frontier* — the
+  monotone prefix of finite grid cells before its first saturated one — is
+  precomputed at construction; lookups interpolate only over that frontier
+  and return an explicit ``inf`` beyond it, so ``p99_at`` is finite-or-
+  ``inf`` and non-decreasing in load, never NaN (interpolating across
+  ``inf`` cells used to produce ``inf - inf`` NaNs exactly in the saturated
+  regime where shedding decisions matter).  The decision rule
+  ``best_path(qps)`` picks the highest-quality path whose frontier p99
   meets the SLA, degrading to latency shedding when nothing does;
-* :class:`MultiPathRouter` — the online policy: it observes offered load
-  through a sliding window (so reactions lag reality), re-consults the
-  table every step, and only commits a switch after the candidate persists
-  for ``hysteresis_steps`` consecutive decisions, charging a switch penalty
-  to every query in the step where the new path warms up;
+* :class:`MultiPathRouter` — the online policy: it forecasts offered load
+  through a pluggable :class:`~repro.serving.estimators.LoadEstimator`
+  (windowed mean, EWMA, or Holt level+trend — all strictly causal), and
+  commits a switch only after the candidate persists for
+  ``hysteresis_steps`` consecutive decisions *and* — for shedding
+  switches, when ``switch_cost_seconds`` is set — the predicted p99 gain
+  over the expected dwell (estimated from the candidate's persistence
+  streak) repays the switch cost.  The first step served by a new path
+  charges ``switch_penalty_seconds`` to every query (warm-up);
 * :func:`route_static` / :func:`route_oracle` — the two bounding policies:
   the single best path a planner would provision offline for the trace's
   typical load, and the clairvoyant per-step optimum with no lag, no
@@ -43,6 +52,7 @@ from repro.serving.engine import (
     draw_unit_arrivals,
     spawn_seeds,
 )
+from repro.serving.estimators import LoadEstimator, WindowedMean
 from repro.serving.resources import PipelinePlan
 from repro.serving.trace import LoadTrace
 
@@ -105,6 +115,11 @@ class RoutingResult:
         Name of the :class:`~repro.serving.trace.LoadTrace` served.
     quality : float
         Query-weighted mean NDCG of the paths that served the trace.
+    effective_quality : float
+        Quality *delivered within the SLA*: the same query-weighted NDCG
+        with every SLA-violating query discounted to zero (saturated dwell
+        steps contribute nothing).  Quality promised by a path the load has
+        saturated is not quality served.
     p99_seconds : float
         Trace-wide query-weighted p99 latency (``inf`` when saturated
         dwell steps hold at least 1% of the queries).
@@ -126,6 +141,7 @@ class RoutingResult:
     policy: str
     trace_name: str
     quality: float
+    effective_quality: float
     p99_seconds: float
     violation_rate: float
     num_switches: int
@@ -155,10 +171,17 @@ class PathTable:
     A table is compiled from a finished sweep (:meth:`from_outcome`) or
     directly from the scheduler (:meth:`compile`, one
     :meth:`~repro.core.scheduler.RecPipeScheduler.evaluate_grid` column per
-    path).  Between swept QPS points the p99 curve is linearly interpolated;
-    beyond the last *feasible* grid point it is a conservative ``inf`` (the
-    un-swept high-load region is treated as violating), and below the first
-    grid point it clamps to the first value.
+    path).  At construction each path's **feasible frontier** is
+    precomputed: the prefix of finite grid cells before the path's first
+    saturated (``inf``) cell, forced non-decreasing (a physical p99 curve
+    rises with load; simulation noise may dip, routing decisions should
+    not).  Lookups interpolate linearly *within* the frontier, clamp to the
+    first value below it, and return an explicit ``inf`` beyond it — both
+    past the last feasible grid point and past the whole grid (the un-swept
+    high-load region is treated as violating).  Interpolating across
+    ``inf`` cells is never attempted, so :meth:`p99_at` cannot produce the
+    ``inf - inf = NaN`` values that once made saturated-regime shedding
+    decisions order-dependent.
 
     Parameters
     ----------
@@ -191,7 +214,7 @@ class PathTable:
     )
 
     def __post_init__(self) -> None:
-        """Validate the grid and precompute eligibility and per-path seeds."""
+        """Validate the grid; precompute frontiers, eligibility, per-path seeds."""
         if not self.paths:
             raise ValueError("a path table needs at least one path")
         grid = tuple(float(q) for q in self.qps_grid)
@@ -204,8 +227,22 @@ class PathTable:
                 "p99_grid must be (num_paths, num_qps) = "
                 f"({len(self.paths)}, {len(grid)}), got {self.p99_grid.shape}"
             )
+        if np.isnan(self.p99_grid).any():
+            raise ValueError("p99_grid must not contain NaN (use inf for saturated cells)")
         if self.sla_seconds <= 0:
             raise ValueError("sla_seconds must be positive")
+        # Feasible frontier per path: the finite prefix before the first
+        # saturated cell, forced non-decreasing.  Finite cells *after* an
+        # inf cell are distrusted (a physical p99 curve never recovers from
+        # saturation as load rises) and treated as saturated too.
+        grid_array = np.asarray(grid)
+        self._frontier_qps: list[np.ndarray] = []
+        self._frontier_p99: list[np.ndarray] = []
+        for row in self.p99_grid:
+            finite = np.isfinite(row)
+            length = int(row.size if finite.all() else np.argmin(finite))
+            self._frontier_qps.append(grid_array[:length])
+            self._frontier_p99.append(np.maximum.accumulate(row[:length]))
         self._eligible = [
             i
             for i, path in enumerate(self.paths)
@@ -350,12 +387,14 @@ class PathTable:
     # Decisions
     # ------------------------------------------------------------------ #
     def p99_at(self, path_index: int, qps: float) -> float:
-        """Interpolated p99 of one path at an arbitrary (off-grid) load.
+        """Frontier-interpolated p99 of one path at an arbitrary load.
 
-        Linear interpolation between swept grid points; any segment touching
-        a saturated (``inf``) grid point interpolates to ``inf``, loads
-        beyond the last grid point are ``inf`` (conservative: un-swept), and
-        loads below the first grid point clamp to the first value.
+        Linear interpolation over the path's precomputed feasible frontier
+        (the non-decreasing finite prefix of its p99 row); loads below the
+        frontier clamp to its first value and loads beyond it — past the
+        last feasible grid point or past the whole grid — are an explicit
+        ``inf``.  The result is always finite or ``inf``, never NaN, and
+        non-decreasing in ``qps``.
 
         Parameters
         ----------
@@ -371,8 +410,15 @@ class PathTable:
         """
         if qps <= 0:
             raise ValueError(f"qps must be positive, got {qps}")
-        row = self.p99_grid[path_index]
-        return float(np.interp(qps, self.qps_grid, row, left=row[0], right=float("inf")))
+        frontier_qps = self._frontier_qps[path_index]
+        if frontier_qps.size == 0 or qps > frontier_qps[-1]:
+            return float("inf")
+        return float(np.interp(qps, frontier_qps, self._frontier_p99[path_index]))
+
+    def max_feasible_qps(self, path_index: int) -> float:
+        """The last swept load at which the path's p99 is finite (0.0: none)."""
+        frontier_qps = self._frontier_qps[path_index]
+        return float(frontier_qps[-1]) if frontier_qps.size else 0.0
 
     def best_path(self, qps: float) -> int:
         """The path the table routes to at ``qps``.
@@ -458,7 +504,11 @@ class PathTable:
         Steps flagged in ``switch_steps`` add ``switch_penalty_seconds`` to
         every query latency (path warm-up).  Saturated dwell cells count all
         of their queries as SLA violations and contribute ``inf`` latency
-        mass to the trace-wide p99.
+        mass to the trace-wide p99.  ``effective_quality`` re-weights the
+        quality aggregate by SLA attainment: queries whose latency violates
+        the SLA (and every query of a saturated cell) contribute zero
+        quality, so policies are ranked by quality *delivered within SLA*,
+        not quality promised.
 
         Parameters
         ----------
@@ -491,6 +541,7 @@ class PathTable:
 
         violations = 0.0
         quality_mass = 0.0
+        effective_mass = 0.0
         occupancy: dict[str, float] = {}
         pooled_values: list[np.ndarray] = []
         pooled_weights: list[np.ndarray] = []
@@ -501,13 +552,15 @@ class PathTable:
             occupancy[path.name] = occupancy.get(path.name, 0.0) + weight
             penalty = switch_penalty_seconds if switch_steps[t] else 0.0
             latencies = self._segment_latencies(index, float(trace.qps[t]))
-            if latencies is None:  # saturated: every query violates
+            if latencies is None:  # saturated: every query violates, none delivers
                 violations += weight
                 pooled_values.append(np.asarray([np.inf]))
                 pooled_weights.append(np.asarray([weight]))
                 continue
             observed = latencies + penalty if penalty else latencies
-            violations += weight * float(np.mean(observed > self.sla_seconds))
+            violating = float(np.mean(observed > self.sla_seconds))
+            violations += weight * violating
+            effective_mass += weight * path.quality * (1.0 - violating)
             pooled_values.append(observed)
             pooled_weights.append(np.full(observed.size, weight / observed.size))
         p99 = _weighted_percentile(
@@ -517,6 +570,7 @@ class PathTable:
             policy=policy,
             trace_name=trace.name,
             quality=quality_mass / total_queries,
+            effective_quality=effective_mass / total_queries,
             p99_seconds=p99,
             violation_rate=violations / total_queries,
             num_switches=int(sum(switch_steps[1:])),
@@ -545,13 +599,24 @@ def route_static(
         The load trace to serve.
     planning_qps : float, optional
         The load the static path is provisioned for (default: trace median).
+        Must be strictly positive — it is an offered load the table is
+        consulted at.
 
     Returns
     -------
     RoutingResult
         Metrics of the static path over the trace.
     """
-    provisioned = trace.median_qps() if planning_qps is None else float(planning_qps)
+    if planning_qps is None:
+        provisioned = trace.median_qps()
+    else:
+        provisioned = float(planning_qps)
+        if not provisioned > 0:  # also rejects NaN
+            raise ValueError(
+                f"planning_qps must be positive, got {planning_qps!r}: it is the "
+                "offered load the static path is provisioned for (omit it to "
+                "provision for the trace's median load)"
+            )
     index = table.best_path(provisioned)
     steps = [index] * trace.num_steps
     return table.evaluate_route(trace, steps, [False] * trace.num_steps, policy="static")
@@ -582,14 +647,24 @@ def route_oracle(table: PathTable, trace: LoadTrace) -> RoutingResult:
 
 @dataclass
 class MultiPathRouter:
-    """The online policy: windowed load observation, hysteresis, switch cost.
+    """The online policy: load forecasting, hysteresis, cost-aware switching.
 
-    The router never sees the future: its load estimate for step ``t`` is
-    the mean of the last ``window`` *observed* steps (``t - window .. t-1``),
-    so reactions lag reality by construction.  A switch is only committed
-    once the table proposes the same non-current path for
+    The router never sees the future: its load estimate for step ``t``
+    comes from a strictly causal :class:`~repro.serving.estimators.LoadEstimator`
+    that has observed only steps ``0 .. t-1`` (the default reproduces the
+    original behavior — the mean of the last ``window`` observed steps;
+    predictive estimators extrapolate instead of chasing).  A switch is
+    only committed once the table proposes the same non-current path for
     ``hysteresis_steps`` consecutive decisions — noise straddling a path
-    boundary therefore cannot flap the system — and the first step served
+    boundary therefore cannot flap the system.  When ``switch_cost_seconds``
+    is set, *shedding* switches (the current path's predicted p99 already
+    violates the SLA) additionally must pay for themselves: the predicted
+    per-query p99 gain, accumulated over the expected dwell (estimated from
+    the candidate's persistence streak — the longer a proposal has
+    persisted, the longer it is expected to keep paying), must reach the
+    switch cost.  Quality-motivated switches (both paths within SLA) are
+    exempt: a one-step warm-up penalty never outweighs an indefinite
+    quality gain, and the two are not commensurable.  The first step served
     by a new path charges ``switch_penalty_seconds`` to every query (state
     migration, cache warm-up).
 
@@ -598,44 +673,108 @@ class MultiPathRouter:
     table : PathTable
         The compiled routing table decisions are read from.
     window : int
-        Sliding-window length (steps) of the load estimator.
+        Sliding-window length (steps) of the default
+        :class:`~repro.serving.estimators.WindowedMean` estimator; ignored
+        when ``estimator`` is provided.
     hysteresis_steps : int
         Consecutive identical proposals required before switching.
     switch_penalty_seconds : float
         Warm-up latency charged to every query of a switch step.
+    estimator : LoadEstimator, optional
+        The load forecaster (default: ``WindowedMean(window)``).  The
+        router resets it at the start of every decision pass, so one
+        instance can replay many traces.
+    switch_cost_seconds : float
+        Predicted p99 gain (seconds, accumulated over the expected dwell)
+        a shedding switch must repay before it is committed; ``0`` disables
+        the gate.
     """
 
     table: PathTable
-    window: int = 5
+    window: int = 3
     hysteresis_steps: int = 2
     switch_penalty_seconds: float = 0.0
+    estimator: LoadEstimator | None = None
+    switch_cost_seconds: float = 0.0
 
     def __post_init__(self) -> None:
-        """Validate the policy knobs."""
+        """Validate the policy knobs and default the estimator."""
         if self.window <= 0:
             raise ValueError("window must be positive")
         if self.hysteresis_steps <= 0:
             raise ValueError("hysteresis_steps must be positive")
         if self.switch_penalty_seconds < 0:
             raise ValueError("switch_penalty_seconds must be non-negative")
+        if self.switch_cost_seconds < 0:
+            raise ValueError("switch_cost_seconds must be non-negative")
+        if self.estimator is None:
+            self.estimator = WindowedMean(window=self.window)
 
-    def estimate_qps(self, trace: LoadTrace, step: int) -> float:
-        """The router's load estimate entering ``step`` (lagged window mean).
+    @property
+    def estimator_name(self) -> str:
+        """The active estimator's artifact label (``windowed``/``ewma``/...)."""
+        return type(self.estimator).name
+
+    def estimate_series(self, trace: LoadTrace) -> np.ndarray:
+        """The router's load estimate entering every step, in one pass.
 
         Step 0 bootstraps from the trace's first load (the provisioning
-        estimate a deployment starts from); later steps average the last
-        ``window`` observed steps and never peek at the current one.
+        estimate a deployment starts from); the estimate for step ``t``
+        then comes from the estimator after observing steps ``0 .. t-1`` —
+        it never peeks at the current step.
+        """
+        self.estimator.reset()
+        estimates = np.empty(trace.num_steps, dtype=np.float64)
+        for t in range(trace.num_steps):
+            estimates[t] = self.estimator.predict() if t else float(trace.qps[0])
+            self.estimator.observe(float(trace.qps[t]))
+        return estimates
+
+    def estimate_qps(self, trace: LoadTrace, step: int) -> float:
+        """The router's load estimate entering ``step``.
+
+        Replays the estimator over the observed prefix ``trace.qps[:step]``
+        (strictly causal); prefer :meth:`estimate_series` when every step's
+        estimate is needed.
         """
         if step == 0:
             return float(trace.qps[0])
-        lo = max(0, step - self.window)
-        return float(np.mean(trace.qps[lo:step]))
+        self.estimator.reset()
+        for qps in trace.qps[:step]:
+            self.estimator.observe(float(qps))
+        return self.estimator.predict()
+
+    def _switch_pays_off(self, current: int, candidate: int, qps: float, streak: int) -> bool:
+        """Whether committing ``candidate`` over ``current`` repays the switch cost.
+
+        Quality-motivated switches (the current path still meets the SLA at
+        the predicted load) always pass, and so do switches away from a
+        *saturated* current path (``inf`` p99): whether the candidate is
+        feasible or merely drains faster, staying saturated is never worth
+        a warm-up saving.  The remaining case — the current path violates
+        the SLA but is not saturated — passes when the predicted per-query
+        p99 gain, summed over the expected dwell (``streak`` steps: the
+        candidate's persistence so far is the forecast of its persistence
+        to come), reaches ``switch_cost_seconds``.  The gain is finite
+        there by construction: ``best_path`` proposes the lowest-p99
+        eligible path, whose p99 cannot exceed the current path's.
+        """
+        if self.switch_cost_seconds == 0:
+            return True
+        p99_current = self.table.p99_at(current, qps)
+        if p99_current <= self.table.sla_seconds:
+            return True
+        if np.isinf(p99_current):
+            return True
+        gain = p99_current - self.table.p99_at(candidate, qps)
+        return gain * max(streak, 1) >= self.switch_cost_seconds
 
     def decide(self, trace: LoadTrace) -> tuple[list[int], list[bool]]:
         """Run the decision loop alone (no simulation): paths and switch flags.
 
         This is the serving-time hot path the routing-overhead benchmark
-        measures; it touches only the compiled table, never the engine.
+        measures; it touches only the compiled table and the estimator,
+        never the engine.
 
         Parameters
         ----------
@@ -647,20 +786,26 @@ class MultiPathRouter:
         tuple[list[int], list[bool]]
             Per-step active path indices and switch markers.
         """
-        current = self.table.best_path(self.estimate_qps(trace, 0))
+        estimates = self.estimate_series(trace)
+        current = self.table.best_path(float(estimates[0]))
         steps = [current]
         switches = [False]
         pending: int | None = None
         streak = 0
         for t in range(1, trace.num_steps):
-            candidate = self.table.best_path(self.estimate_qps(trace, t))
+            estimate = float(estimates[t])
+            candidate = self.table.best_path(estimate)
             if candidate == current:
                 pending, streak = None, 0
             elif candidate == pending:
                 streak += 1
             else:
                 pending, streak = candidate, 1
-            if pending is not None and streak >= self.hysteresis_steps:
+            if (
+                pending is not None
+                and streak >= self.hysteresis_steps
+                and self._switch_pays_off(current, pending, estimate, streak)
+            ):
                 current = pending
                 pending, streak = None, 0
                 switches.append(True)

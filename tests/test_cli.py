@@ -377,6 +377,57 @@ class TestRoute:
         assert cli.main(["route", "--trace", "tsunami"]) == 2
         assert "tsunami" in capsys.readouterr().err
 
+    def test_policy_defaults_come_from_the_router_dataclass(self):
+        # The dataclass is the single source of truth: the CLI defaults and
+        # the registry experiment's pinned knobs must agree with it.
+        from repro.experiments import router_online
+        from repro.serving.router import MultiPathRouter
+
+        args = cli.build_parser().parse_args(["route"])
+        assert args.window == MultiPathRouter.window
+        assert args.hysteresis == MultiPathRouter.hysteresis_steps
+        assert args.switch_cost_ms == MultiPathRouter.switch_cost_seconds * 1e3
+        assert router_online.WINDOW == MultiPathRouter.window
+        assert router_online.HYSTERESIS_STEPS == MultiPathRouter.hysteresis_steps
+
+    def test_non_positive_planning_qps_is_a_clear_error(self, capsys):
+        for value in ("0", "-250"):
+            assert cli.main(self.ROUTE_ARGS + ["--planning-qps", value]) == 2
+            err = capsys.readouterr().err
+            assert "planning_qps must be positive" in err
+
+    def test_estimator_flag_round_trips_into_artifacts(self, tmp_path):
+        out_dir = tmp_path / "route"
+        code = cli.main(
+            self.ROUTE_ARGS
+            + [
+                "--estimator",
+                "ewma",
+                "--ewma-alpha",
+                "0.6",
+                "--switch-cost-ms",
+                "5",
+                "--output-dir",
+                str(out_dir),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        manifest = artifacts.load_manifest(out_dir)
+        assert manifest["config"]["estimator"] == "ewma"
+        assert manifest["config"]["ewma_alpha"] == 0.6
+        assert manifest["config"]["switch_cost_ms"] == 5.0
+        rows = artifacts.load_result_json(out_dir / "route.json")["rows"]
+        by_policy = {row["policy"]: row for row in rows}
+        assert by_policy["online"]["estimator"] == "ewma"
+        assert by_policy["static"]["estimator"] == "-"
+        for row in rows:
+            assert "effective_quality" in row
+
+    def test_bad_ewma_alpha_is_an_error(self, capsys):
+        assert cli.main(self.ROUTE_ARGS + ["--estimator", "ewma", "--ewma-alpha", "1.5"]) == 2
+        assert "alpha" in capsys.readouterr().err
+
     def test_online_beats_static_on_spike_violations(self, tmp_path):
         out_dir = tmp_path / "route"
         assert cli.main(self.ROUTE_ARGS + ["--output-dir", str(out_dir), "--quiet"]) == 0

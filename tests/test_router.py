@@ -110,6 +110,134 @@ class TestInterpolation:
             make_table().p99_at(0, 0.0)
 
 
+class TestFeasibleFrontier:
+    """`p99_at` is finite-or-inf (never NaN) and non-decreasing in load."""
+
+    INF = float("inf")
+    # Saturates mid-grid with *two* adjacent inf cells: loads between
+    # grid[3]=3000 and grid[4]=5000 used to interpolate inf - inf = NaN.
+    DOUBLE_SAT_ROW = (0.010, 0.011, 0.012, INF, INF)
+
+    def saturated_table(self, rows, qualities=None) -> PathTable:
+        qualities = qualities or [98.0 - i for i in range(len(rows))]
+        paths = [
+            make_path("cpu", RM_LARGE, service_ms=10.0, servers=8 * (i + 1), quality=q)
+            for i, q in enumerate(qualities)
+        ]
+        return PathTable(
+            paths=paths,
+            qps_grid=GRID,
+            p99_grid=np.array(rows),
+            sla_seconds=0.025,
+        )
+
+    def test_nan_regression_between_two_saturated_points(self):
+        table = self.saturated_table([self.DOUBLE_SAT_ROW])
+        # 4000 falls strictly between the two saturated grid points.
+        value = table.p99_at(0, 4000.0)
+        assert value == self.INF
+        assert not np.isnan(value)
+
+    def test_fully_saturated_shedding_is_order_independent(self):
+        # With NaN p99s, `best_path`'s shedding min() depended on path
+        # order.  Now every lookup is inf and the capacity tie-break wins,
+        # whichever way the paths are listed.
+        rows = [self.DOUBLE_SAT_ROW, self.DOUBLE_SAT_ROW]
+        forward = self.saturated_table(rows, qualities=[98.0, 97.0])
+        backward = self.saturated_table(list(reversed(rows)), qualities=[97.0, 98.0])
+        load = 4000.0  # inside the saturated region for both paths
+        chosen_fwd = forward.paths[forward.best_path(load)]
+        chosen_bwd = backward.paths[backward.best_path(load)]
+        # The higher-capacity path drains fastest and must win both times.
+        assert chosen_fwd.capacity_qps == chosen_bwd.capacity_qps
+        assert chosen_fwd.capacity_qps == max(p.capacity_qps for p in forward.paths)
+
+    def test_path_saturated_from_the_first_cell(self):
+        table = self.saturated_table([(self.INF,) * len(GRID)])
+        assert table.p99_at(0, 50.0) == self.INF
+        assert table.p99_at(0, 10_000.0) == self.INF
+        assert table.max_feasible_qps(0) == 0.0
+
+    def test_finite_cells_after_saturation_are_distrusted(self):
+        # A physical p99 curve never recovers from saturation as load
+        # rises; a finite cell after an inf one is treated as saturated.
+        table = self.saturated_table([(0.010, self.INF, 0.012, 0.013, 0.014)])
+        assert table.p99_at(0, float(GRID[0])) == pytest.approx(0.010)
+        for qps in (float(GRID[2]), float(GRID[3]), float(GRID[4])):
+            assert table.p99_at(0, qps) == self.INF
+        assert table.max_feasible_qps(0) == GRID[0]
+
+    def test_noisy_dips_are_monotonized(self):
+        # Simulation noise can make a measured p99 dip as load rises; the
+        # frontier forces the routing view non-decreasing.
+        table = self.saturated_table([(0.010, 0.009, 0.012, 0.011, self.INF)])
+        assert table.p99_at(0, float(GRID[1])) == pytest.approx(0.010)
+        assert table.p99_at(0, float(GRID[3])) == pytest.approx(0.012)
+
+    def test_nan_grid_cells_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            self.saturated_table([(0.010, float("nan"), 0.012, 0.013, 0.014)])
+
+    def test_max_feasible_qps(self):
+        table = make_table()
+        assert table.max_feasible_qps(0) == 3000.0  # HQ_ROW saturates at 5000
+        assert table.max_feasible_qps(1) == GRID[-1]  # FAST_ROW never does
+
+    @pytest.mark.parametrize(
+        "row",
+        [
+            HQ_ROW,
+            FAST_ROW,
+            DOUBLE_SAT_ROW,
+            (INF, INF, INF, INF, INF),
+            (0.010, INF, 0.012, INF, 0.014),
+            (0.010, 0.009, 0.012, 0.011, INF),
+        ],
+    )
+    def test_property_finite_or_inf_and_non_decreasing(self, row):
+        table = self.saturated_table([row])
+        loads = np.linspace(1.0, 2.0 * GRID[-1], 400)
+        values = np.array([table.p99_at(0, float(q)) for q in loads])
+        assert not np.isnan(values).any()
+        # Pairwise comparison (not np.diff): inf >= inf is True while
+        # inf - inf is the very NaN this suite guards against.
+        assert np.all(values[1:] >= values[:-1])
+
+    def test_property_holds_for_compiled_tables(self, compiled_table):
+        grid = np.asarray(compiled_table.qps_grid)
+        loads = np.concatenate(
+            [
+                np.linspace(grid[0] * 0.1, grid[-1], 200),  # below + interior
+                np.linspace(grid[-1], grid[-1] * 3.0, 50),  # beyond the grid
+            ]
+        )
+        for index in range(len(compiled_table.paths)):
+            values = np.array([compiled_table.p99_at(index, float(q)) for q in loads])
+            assert not np.isnan(values).any()
+            assert np.all(values[1:] >= values[:-1])
+            assert np.all((values > 0) | np.isinf(values))
+
+
+@pytest.fixture(scope="module")
+def compiled_table() -> PathTable:
+    """A small real compiled table whose top path saturates inside the grid."""
+    queries = CriteoSynthetic(CriteoConfig(table_size=400)).sample_ranking_queries(
+        3, candidates_per_query=512
+    )
+    evaluator = QualityEvaluator(queries)
+    scheduler = RecPipeScheduler(evaluator, simulation=SimulationConfig.with_budget(300, seed=0))
+    pipelines = enumerate_pipelines(
+        criteo_model_specs(),
+        first_stage_items=(512,),
+        later_stage_items=(128,),
+        max_stages=2,
+        serve_k=64,
+    )
+    return PathTable.compile(
+        scheduler, pipelines, ("cpu",), (250.0, 1000.0, 4000.0, 8000.0), sla_ms=25.0, seed=0
+    )
+
+
 class TestBestPath:
     def test_prefers_quality_when_sla_met(self):
         table = make_table()
@@ -187,6 +315,160 @@ class TestEvaluateRoute:
         result = table.evaluate_route(trace, [0, 1], [False, True], policy="online")
         assert result.occupancy[table.paths[0].name] == pytest.approx(0.25)
         assert result.occupancy[table.paths[1].name] == pytest.approx(0.75)
+
+
+class TestEffectiveQuality:
+    def test_fully_within_sla_delivers_all_promised_quality(self):
+        table = make_table()
+        result = route_static(table, flat_trace(1000.0))
+        assert result.violation_rate == 0.0
+        assert result.effective_quality == pytest.approx(result.quality)
+
+    def test_saturated_route_delivers_zero_quality(self):
+        table = make_table()
+        trace = flat_trace(4000.0)
+        steps = [0] * trace.num_steps  # pin the saturated hq path
+        result = table.evaluate_route(trace, steps, [False] * trace.num_steps, policy="static")
+        assert result.quality == pytest.approx(98.0)  # promised...
+        assert result.effective_quality == 0.0  # ...but not delivered
+
+    def test_violating_queries_are_discounted_not_averaged(self):
+        table = make_table()
+        trace = flat_trace(1000.0, num_steps=4)
+        steps = [0, 0, 1, 1]
+        switches = [False, False, True, False]
+        result = table.evaluate_route(
+            trace, steps, switches, policy="online", switch_penalty_seconds=0.05
+        )
+        # The switch step (path 1, quality 95) violates entirely; the other
+        # three steps deliver their paths' full quality.
+        assert result.violation_rate == pytest.approx(0.25)
+        assert result.effective_quality == pytest.approx((98.0 + 98.0 + 0.0 + 95.0) / 4.0)
+        assert result.effective_quality < result.quality
+
+    def test_effective_quality_ranks_shedding_above_saturation(self):
+        # The whole point of the metric: a lower-quality feasible path
+        # delivers more than a higher-quality saturated one.
+        table = make_table()
+        trace = flat_trace(4000.0)
+        saturated = table.evaluate_route(
+            trace, [0] * trace.num_steps, [False] * trace.num_steps, policy="a"
+        )
+        shedding = table.evaluate_route(
+            trace, [1] * trace.num_steps, [False] * trace.num_steps, policy="b"
+        )
+        assert saturated.quality > shedding.quality
+        assert shedding.effective_quality > saturated.effective_quality
+
+
+class TestCostAwareSwitching:
+    SLA_MS = 25.0
+
+    def marginal_table(self, gain_ms: float = 2.0) -> PathTable:
+        """Both paths violate the 25 ms SLA at high load; B by ``gain_ms`` less."""
+        a = make_path("cpu", RM_LARGE, service_ms=10.0, servers=32, quality=98.0)
+        b = make_path("cpu", RM_SMALL, service_ms=2.0, servers=64, quality=95.0)
+        over = self.SLA_MS * 1e-3 + 5e-3  # 30 ms: violating but not saturated
+        return PathTable(
+            paths=[a, b],
+            qps_grid=GRID,
+            p99_grid=np.array(
+                [
+                    (0.010, 0.011, over, over, over),
+                    (0.002, 0.002, over - gain_ms * 1e-3, over - gain_ms * 1e-3, 0.028),
+                ]
+            ),
+            sla_seconds=self.SLA_MS / 1e3,
+            simulation=SimulationConfig(num_queries=600, warmup_queries=60),
+        )
+
+    def shed_trace(self) -> LoadTrace:
+        qps = np.concatenate([np.full(4, 500.0), np.full(12, 2500.0)])
+        return LoadTrace("shed", 10.0, qps)
+
+    def test_zero_cost_commits_marginal_sheds(self):
+        router = MultiPathRouter(self.marginal_table(), window=1, switch_cost_seconds=0.0)
+        steps, switches = router.decide(self.shed_trace())
+        assert steps[-1] == 1
+        assert sum(switches) == 1
+
+    def test_cost_gate_blocks_sheds_that_cannot_repay(self):
+        # 2 ms predicted gain per step over a ~2-step expected dwell never
+        # repays a 50 ms switch cost: stay put.
+        router = MultiPathRouter(self.marginal_table(), window=1, switch_cost_seconds=0.05)
+        steps, switches = router.decide(self.shed_trace())
+        assert sum(switches) == 0
+        assert set(steps) == {0}
+
+    def test_escaping_saturation_is_always_worthwhile(self):
+        # A saturated current path (inf p99) is exempt from the gate: even
+        # a hefty switch cost never pins the router to a saturated path.
+        router = MultiPathRouter(make_table(), window=1, switch_cost_seconds=0.05)
+        qps = np.concatenate([np.full(4, 500.0), np.full(12, 4000.0)])
+        steps, switches = router.decide(LoadTrace("sat", 10.0, qps))
+        assert steps[-1] == 1
+        assert sum(switches) == 1
+
+    def test_saturated_to_saturated_capacity_shed_is_not_blocked(self):
+        # Both paths saturated: best_path proposes the faster-draining one
+        # and the gate must not block it (the p99 "gain" is unmeasurable,
+        # not zero-valued).
+        slow = make_path("cpu", RM_LARGE, service_ms=10.0, servers=8, quality=98.0)
+        fast = make_path("cpu", RM_SMALL, service_ms=2.0, servers=64, quality=95.0)
+        inf = float("inf")
+        table = PathTable(
+            paths=[slow, fast],
+            qps_grid=GRID,
+            p99_grid=np.array([(0.010, inf, inf, inf, inf), (0.002, 0.002, inf, inf, inf)]),
+            sla_seconds=0.025,
+            simulation=SimulationConfig(num_queries=600, warmup_queries=60),
+        )
+        router = MultiPathRouter(table, window=1, switch_cost_seconds=10.0)
+        qps = np.concatenate([np.full(3, 100.0), np.full(10, 2500.0)])
+        steps, switches = router.decide(LoadTrace("allsat", 10.0, qps))
+        assert steps[0] == 0  # the high-quality path at the feasible low load
+        assert steps[-1] == 1  # drained by the higher-capacity path, gate or not
+        assert sum(switches) == 1
+
+    def test_quality_motivated_switches_are_exempt(self):
+        # Coming back down from a shed: the current (fast) path still meets
+        # the SLA, so reclaiming quality must not be blocked by the gate.
+        router = MultiPathRouter(make_table(), window=1, switch_cost_seconds=10.0)
+        qps = np.concatenate([np.full(6, 4000.0), np.full(10, 500.0)])
+        steps, switches = router.decide(LoadTrace("updown", 10.0, qps))
+        assert steps[0] == 1  # shedding under the initial saturating load
+        assert steps[-1] == 0  # quality reclaimed once load subsides
+        assert sum(switches) == 1
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPathRouter(make_table(), switch_cost_seconds=-1.0)
+
+
+class TestEstimatorIntegration:
+    def test_default_estimator_reproduces_windowed_mean_decisions(self):
+        from repro.serving.estimators import WindowedMean
+
+        table = make_table()
+        trace = spike_trace(num_steps=60, step_seconds=10.0, base_qps=1000.0, seed=2)
+        implicit = MultiPathRouter(table, window=4)
+        explicit = MultiPathRouter(table, estimator=WindowedMean(window=4))
+        assert implicit.decide(trace) == explicit.decide(trace)
+        assert implicit.estimator_name == explicit.estimator_name == "windowed"
+
+    def test_predictive_estimator_reacts_faster_on_a_ramp(self):
+        from repro.serving.estimators import HoltTrend
+
+        table = make_table()
+        qps = np.linspace(1000.0, 4500.0, 30)
+        trace = LoadTrace("ramp", 10.0, qps)
+        reactive = MultiPathRouter(table, window=5)
+        predictive = MultiPathRouter(table, window=5, estimator=HoltTrend())
+        reactive_steps, _ = reactive.decide(trace)
+        predictive_steps, _ = predictive.decide(trace)
+        first_shed_reactive = reactive_steps.index(1)
+        first_shed_predictive = predictive_steps.index(1)
+        assert first_shed_predictive <= first_shed_reactive
 
 
 class TestHysteresis:
