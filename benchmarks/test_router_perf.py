@@ -1,6 +1,6 @@
 """Benchmark: online router claims + serving-time routing overhead.
 
-Two halves, mirroring the router ISSUE's acceptance criteria:
+Three parts, mirroring the router and frontend ISSUEs' acceptance criteria:
 
 * the ``router`` registry experiment's headline claims hold — for **every**
   load estimator the violation-rate ordering ``oracle <= online <= static``
@@ -10,9 +10,16 @@ Two halves, mirroring the router ISSUE's acceptance criteria:
   of the oracle's quality;
 * the decision loop itself is cheap enough to sit on a serving hot path —
   the per-step overhead of :meth:`MultiPathRouter.decide` is measured on a
-  long trace **per estimator** and recorded to ``BENCH_router.json``
-  (override the destination with ``RECPIPE_BENCH_ROUTER_PATH``) so future
-  PRs can regress against the trajectory.
+  long trace **per estimator**;
+* the per-query streaming frontend preserves the bounds ordering
+  ``oracle <= frontend <= static`` at experiment scale and routes at least
+  one million queries per second through admission control + dynamic
+  batching on a multi-million-query stream.
+
+Both perf halves record their numbers to ``BENCH_router.json`` (override
+the destination with ``RECPIPE_BENCH_ROUTER_PATH``), each under its own
+section via a read-modify-write so the tests never clobber one another,
+and future PRs can regress against the trajectory.
 """
 
 import json
@@ -23,15 +30,33 @@ from pathlib import Path
 import numpy as np
 from conftest import report
 
-from repro.experiments import router_online
+from repro.experiments import frontend_online, router_online
+from repro.serving.frontend import QueryStream, StreamingFrontend
 from repro.serving.router import MultiPathRouter
 from repro.serving.trace import diurnal_trace
 
 BENCH_PATH = Path("BENCH_router.json")
 
+#: The frontend must route at least this many queries per second.
+MIN_ROUTED_QUERIES_PER_SECOND = 1_000_000.0
+
 
 def bench_path() -> Path:
     return Path(os.environ.get("RECPIPE_BENCH_ROUTER_PATH", BENCH_PATH))
+
+
+def record_bench(section: str, payload: dict) -> Path:
+    """Merge one section into the bench file (read-modify-write)."""
+    path = bench_path()
+    try:
+        existing = json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        existing = {}
+    if "benchmark" in existing:  # legacy flat payload: nest it under its name
+        existing = {existing.pop("benchmark"): existing}
+    existing[section] = payload
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def test_router_experiment_claims(benchmark):
@@ -113,7 +138,6 @@ def test_routing_decision_overhead():
 
     baseline = per_estimator[router_online.BASELINE_ESTIMATOR]
     payload = {
-        "benchmark": "router_overhead",
         "num_paths": len(table.paths),
         "qps_grid_points": len(table.qps_grid),
         "trace_steps": trace.num_steps,
@@ -126,8 +150,7 @@ def test_routing_decision_overhead():
         "num_switches": baseline["num_switches"],
         "estimators": per_estimator,
     }
-    path = bench_path()
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path = record_bench("router_overhead", payload)
     summary = ", ".join(
         f"{name} {stats['microseconds_per_decision']:.1f} us"
         for name, stats in per_estimator.items()
@@ -135,4 +158,68 @@ def test_routing_decision_overhead():
     print(
         f"\nrouting overhead per decision: {summary} "
         f"(table compile {compile_seconds:.2f} s) -> {path}"
+    )
+
+
+def test_frontend_experiment_claims(benchmark):
+    result = benchmark.pedantic(frontend_online.run, rounds=1, iterations=1, warmup_rounds=0)
+    report(result)
+
+    by_key = {(row["trace"], row["policy"], row["estimator"]): row for row in result.rows}
+    traces = {row["trace"] for row in result.rows}
+    assert traces == {"diurnal", "spike", "ramp"}
+    estimators = {row["estimator"] for row in result.rows if row["policy"] == "frontend"}
+    assert estimators == set(frontend_online.FRONTEND_ESTIMATORS)
+    for trace in traces:
+        static = by_key[(trace, "static", "-")]
+        oracle = by_key[(trace, "oracle", "-")]
+        assert static["shed_rate"] == oracle["shed_rate"] == 0.0
+        for estimator in estimators:
+            frontend = by_key[(trace, "frontend", estimator)]
+            # The per-query layer must respect the same bounds the step
+            # router does; its violations are chosen (shed/deferred), not
+            # suffered.
+            assert oracle["sla_violation_rate"] <= frontend["sla_violation_rate"]
+            assert frontend["sla_violation_rate"] <= static["sla_violation_rate"]
+            assert 0.0 <= frontend["shed_rate"] <= frontend["sla_violation_rate"] + 1e-12
+            assert 1.0 <= frontend["mean_batch_size"] <= frontend_online.MAX_BATCH
+
+
+def test_frontend_routed_query_throughput():
+    """The per-query hot path: >= 1M routed queries/s through admission."""
+    table = router_online.build_table(seed=0)
+    trace = diurnal_trace(
+        num_steps=2000, step_seconds=1.0, base_qps=800.0, peak_qps=3000.0, noise=0.05, seed=0
+    )
+    # Stream realization is provisioning-time work; route timing excludes it.
+    stream = QueryStream.from_trace(trace, seed=0)
+    assert stream.num_queries > 2_000_000
+
+    frontend = StreamingFrontend(router_online.build_router(table))
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        plan = frontend.schedule(trace, stream)
+        best = min(best, time.perf_counter() - start)
+    routed_per_second = stream.num_queries / best
+    assert plan.offered_queries == stream.num_queries
+    assert plan.served_queries + plan.shed_queries == plan.offered_queries
+    assert routed_per_second >= MIN_ROUTED_QUERIES_PER_SECOND
+
+    payload = {
+        "num_paths": len(table.paths),
+        "trace_steps": trace.num_steps,
+        "stream_queries": stream.num_queries,
+        "schedule_seconds": best,
+        "routed_queries_per_second": routed_per_second,
+        "microseconds_per_query": best / stream.num_queries * 1e6,
+        "shed_rate": plan.shed_rate,
+        "defer_rate": plan.defer_rate,
+        "mean_batch_size": plan.mean_batch_size,
+        "num_switches": plan.num_switches,
+    }
+    path = record_bench("frontend_throughput", payload)
+    print(
+        f"\nfrontend throughput: {routed_per_second:,.0f} routed queries/s "
+        f"({stream.num_queries:,} queries in {best * 1e3:.1f} ms) -> {path}"
     )

@@ -6,6 +6,7 @@ Subcommands::
     recpipe run [--only IDS] [--tag TAGS] [--jobs N] [--seed S] [--output-dir D]
     recpipe sweep --platform cpu --qps 250,500 --sla-ms 25 [--output-dir D]
     recpipe route --trace spike --sla-ms 25 [--output-dir D]
+    recpipe route --mode per-query --trace spike [--output-dir D]
     recpipe report --output-dir D     # re-render the tables of a previous run
 
 ``run`` executes registered experiment harnesses (process-parallel with
@@ -13,7 +14,9 @@ Subcommands::
 exploration with user-supplied loads and latency targets instead of the
 paper's presets; ``route`` compiles a :class:`~repro.serving.router.PathTable`
 and replays time-varying load traces under static / oracle / online path
-selection (:mod:`repro.serving.router`).  With ``--output-dir`` all of them
+selection (:mod:`repro.serving.router`) — or, with ``--mode per-query``,
+under the streaming frontend's per-query admission control and dynamic
+batching (:mod:`repro.serving.frontend`).  With ``--output-dir`` all of them
 write per-experiment JSON + CSV artifacts and a ``manifest.json`` (config,
 seed, wall-clock per experiment), which ``report`` reads back.  ``list
 --format markdown`` emits the registry table embedded in
@@ -48,9 +51,10 @@ SWEEP_DATASETS = ("criteo", "movielens-1m", "movielens-20m")
 # Argument parsing
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
-    # Policy knob defaults are read from the router dataclass so the CLI,
-    # the registry experiment and the library cannot drift apart.
+    # Policy knob defaults are read from the router/frontend dataclasses so
+    # the CLI, the registry experiments and the library cannot drift apart.
     from repro.serving.estimators import EWMA, ESTIMATORS
+    from repro.serving.frontend import ARRIVAL_PROCESSES, StreamingFrontend
     from repro.serving.router import MultiPathRouter
 
     parser = argparse.ArgumentParser(
@@ -273,6 +277,48 @@ def build_parser() -> argparse.ArgumentParser:
             "provision the static baseline for this load instead of the "
             "trace's median (must be positive)"
         ),
+    )
+    route_parser.add_argument(
+        "--mode",
+        default="per-step",
+        choices=("per-step", "per-query"),
+        help=(
+            "per-step: one decision per dwell step (the original router); "
+            "per-query: the streaming frontend with admission control and "
+            "dynamic batching over individually arriving queries"
+        ),
+    )
+    route_parser.add_argument(
+        "--window-seconds",
+        type=float,
+        default=None,
+        help="per-query decision-window width (default: the trace's step width)",
+    )
+    route_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=StreamingFrontend.max_batch,
+        help="upper clamp on the per-query frontend's dynamic batch size",
+    )
+    route_parser.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="pin every per-query batch to size 1",
+    )
+    route_parser.add_argument(
+        "--defer-windows",
+        type=float,
+        default=StreamingFrontend.defer_windows,
+        help=(
+            "defer-queue capacity in multiples of one window's admission "
+            "cap; 0 disables deferral (admit or shed only)"
+        ),
+    )
+    route_parser.add_argument(
+        "--arrival-process",
+        default="poisson",
+        choices=ARRIVAL_PROCESSES,
+        help="arrival realization for per-query mode (poisson or deterministic paced)",
     )
     route_parser.add_argument("--seed", type=int, default=0, help="simulation + trace seed")
     route_parser.add_argument(
@@ -578,8 +624,10 @@ def _route_estimator(args: argparse.Namespace):
 def cmd_route(args: argparse.Namespace) -> int:
     from repro.core.pipeline import enumerate_pipelines
     from repro.core.scheduler import RecPipeScheduler
+    from repro.experiments.frontend_online import bound_row, frontend_row
     from repro.experiments.router_online import compare_policies, result_row, violation_note
-    from repro.serving.router import MultiPathRouter, PathTable
+    from repro.serving.frontend import StreamingFrontend
+    from repro.serving.router import MultiPathRouter, PathTable, route_oracle, route_static
     from repro.serving.simulator import SimulationConfig
 
     # A smaller default pool than sweep's: routing tables pair it with the
@@ -625,28 +673,69 @@ def cmd_route(args: argparse.Namespace) -> int:
     traces = _route_traces(args)
     result = ExperimentResult(name=f"route_{args.dataset}")
     steps_result = ExperimentResult(name=f"route_{args.dataset}_steps")
-    for trace in traces:
-        routings = compare_policies(table, trace, router=router, planning_qps=args.planning_qps)
-        for policy, routing in routings.items():
-            estimator = args.estimator if policy == "online" else "-"
-            result.add(**result_row(trace, routing, estimator=estimator))
-        online = routings["online"]
-        estimates = router.estimate_series(trace)
-        for step, (path_index, switched) in enumerate(
-            zip(online.path_steps, online.switch_steps)
-        ):
-            path = table.paths[path_index]
-            steps_result.add(
-                trace=trace.name,
-                step=step,
-                qps=float(trace.qps[step]),
-                estimated_qps=float(estimates[step]),
-                platform=path.platform,
-                pipeline=path.pipeline.name,
-                path=path.name,
-                switch=bool(switched),
+    if args.mode == "per-query":
+        frontend = StreamingFrontend(
+            router,
+            window_seconds=args.window_seconds,
+            max_batch=args.max_batch,
+            batching=not args.no_batching,
+            defer_windows=args.defer_windows,
+            arrival_process=args.arrival_process,
+            arrival_seed=args.seed,
+        )
+        for trace in traces:
+            static = route_static(table, trace, planning_qps=args.planning_qps)
+            oracle = route_oracle(table, trace)
+            served = frontend.serve(trace)
+            result.add(**bound_row(trace, static))
+            result.add(**bound_row(trace, oracle))
+            result.add(**frontend_row(trace, served, args.estimator))
+            schedule = served.schedule
+            for w in range(schedule.num_windows):
+                path = table.paths[int(schedule.window_paths[w])]
+                steps_result.add(
+                    trace=trace.name,
+                    window=w,
+                    estimated_qps=float(schedule.estimates[w]),
+                    path=path.name,
+                    switch=bool(schedule.window_switches[w]),
+                    arrivals=int(schedule.window_arrivals[w]),
+                    admitted=int(schedule.window_admitted[w]),
+                    deferred=int(schedule.window_deferred[w]),
+                    shed=int(schedule.window_shed[w]),
+                    batch_size=int(schedule.window_batch[w]),
+                )
+            result.note(
+                f"{trace.name}: SLA-violation rate static {static.violation_rate:.3f} "
+                f"-> frontend {served.routing.violation_rate:.3f} "
+                f"(shed {schedule.shed_rate:.3f}, defer {schedule.defer_rate:.3f}, "
+                f"mean batch {schedule.mean_batch_size:.1f})"
             )
-        result.note(violation_note(trace, routings))
+    else:
+        for trace in traces:
+            routings = compare_policies(
+                table, trace, router=router, planning_qps=args.planning_qps
+            )
+            for policy, routing in routings.items():
+                estimator = args.estimator if policy == "online" else "-"
+                result.add(**result_row(trace, routing, estimator=estimator))
+            online = routings["online"]
+            estimates = router.estimate_series(trace)
+            for step, (path_index, switched) in enumerate(
+                zip(online.path_steps, online.switch_steps)
+            ):
+                path = table.paths[path_index]
+                steps_result.add(
+                    trace=trace.name,
+                    step=step,
+                    qps=float(trace.qps[step]),
+                    estimated_qps=float(estimates[step]),
+                    platform=path.platform,
+                    pipeline=path.pipeline.name,
+                    path=path.name,
+                    switch=bool(switched),
+                )
+            result.note(violation_note(trace, routings))
     elapsed = time.perf_counter() - start
 
     if not args.quiet:
@@ -680,6 +769,12 @@ def cmd_route(args: argparse.Namespace) -> int:
             "planning_qps": args.planning_qps,
             "num_queries": args.num_queries,
             "pool": pool,
+            "mode": args.mode,
+            "window_seconds": args.window_seconds,
+            "max_batch": args.max_batch,
+            "batching": not args.no_batching,
+            "defer_windows": args.defer_windows,
+            "arrival_process": args.arrival_process,
         }
         entries = [
             artifacts.write_experiment_artifacts(
@@ -688,7 +783,14 @@ def cmd_route(args: argparse.Namespace) -> int:
         ]
         steps_meta = dict(meta)
         steps_meta["id"] = "route_steps"
-        steps_meta["title"] = f"{meta['title']} — online per-step decision log"
+        steps_meta["title"] = (
+            f"{meta['title']} — "
+            + (
+                "frontend per-window admission log"
+                if args.mode == "per-query"
+                else "online per-step decision log"
+            )
+        )
         entries.append(
             artifacts.write_experiment_artifacts(
                 Path(args.output_dir), steps_meta, steps_result, seed=args.seed

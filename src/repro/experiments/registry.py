@@ -28,6 +28,7 @@ from repro.experiments import (
     fig12_rpaccel_scale,
     fig13_future,
     fig14_summary,
+    frontend_online,
     router_online,
     sweep_multiplatform,
     tab01_pareto_models,
@@ -224,6 +225,7 @@ def _build_default_registry() -> ExperimentRegistry:
         ("fig14", fig14_summary),
         ("sweepmp", sweep_multiplatform),
         ("router", router_online),
+        ("frontend", frontend_online),
         ("bench-sim", bench_simulator),
     ):
         registry.register(_spec_from_module(exp_id, module))
@@ -236,6 +238,6 @@ REGISTRY = _build_default_registry()
 
 def default_registry() -> ExperimentRegistry:
     """The process-wide registry: the paper's eleven experiments, the
-    cross-platform sweep, the online serving router, and the simulator
-    engine benchmark."""
+    cross-platform sweep, the online serving router, the per-query
+    frontend, and the simulator engine benchmark."""
     return REGISTRY

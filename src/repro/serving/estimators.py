@@ -15,7 +15,15 @@ transitions.  This module turns the estimate into a pluggable policy axis:
 * :class:`HoltTrend` — Holt's linear (level + slope) double exponential
   smoothing: ramps and spike decays are *extrapolated* one step ahead
   rather than chased, so the estimate leads sustained drift instead of
-  lagging it.
+  lagging it;
+* :class:`AutoSelector` — races the three families in lock-step and
+  delegates each prediction to whichever currently has the lowest
+  trailing one-step forecast error (scored causally, before observing).
+
+:class:`HazardDwellForecaster` is the companion piece for the router's
+cost-aware switch gate: it tracks completed dwell lengths and forecasts the
+expected dwell ahead under a memoryless hazard, replacing the persistence
+streak as the amortization horizon when attached to a router.
 
 Every estimator is seed-free and deterministic, keeps its state in plain
 floats, and observes **strictly past** steps: ``predict()`` is the estimate
@@ -38,6 +46,8 @@ from typing import ClassVar, Protocol, runtime_checkable
 __all__ = [
     "ESTIMATORS",
     "EWMA",
+    "AutoSelector",
+    "HazardDwellForecaster",
     "HoltTrend",
     "LoadEstimator",
     "WindowedMean",
@@ -260,11 +270,150 @@ class HoltTrend:
         return self._level is not None
 
 
+@dataclass
+class AutoSelector:
+    """Pick the candidate estimator with the lowest trailing forecast error.
+
+    No single estimator wins every trace family: the windowed mean is best
+    on stationary noise, EWMA on flash crowds, Holt on sustained ramps.
+    The selector runs all three in lock-step and, at each prediction,
+    delegates to whichever candidate currently has the lowest exponentially
+    weighted trailing absolute one-step forecast error.  Errors are scored
+    *causally*: before an observation is folded in, each primed candidate's
+    standing forecast is compared against the arriving load — the selector
+    never grades a candidate on data it has already seen.
+
+    Ties (including the start, before any errors exist) resolve to the
+    earliest candidate in construction order, so the selector opens as a
+    windowed mean and only departs once a competitor demonstrably forecasts
+    better.
+
+    Parameters
+    ----------
+    error_alpha : float
+        Smoothing factor in ``(0, 1]`` for the trailing-error EWMA.
+    candidates : tuple[LoadEstimator, ...], optional
+        The estimators raced against each other (default: fresh
+        ``WindowedMean``, ``EWMA``, ``HoltTrend`` with class-default knobs).
+    """
+
+    error_alpha: float = 0.3
+    candidates: tuple = ()
+    name: ClassVar[str] = "auto"
+    _errors: list = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        """Validate knobs and default the candidate set."""
+        if not 0.0 < self.error_alpha <= 1.0:
+            raise ValueError(f"error_alpha must lie in (0, 1], got {self.error_alpha}")
+        if not self.candidates:
+            self.candidates = (WindowedMean(), EWMA(), HoltTrend())
+        self.candidates = tuple(self.candidates)
+        self._errors = [None] * len(self.candidates)
+
+    def reset(self) -> None:
+        """Forget all observations (candidates and trailing errors alike)."""
+        for candidate in self.candidates:
+            candidate.reset()
+        self._errors = [None] * len(self.candidates)
+
+    def observe(self, qps: float) -> None:
+        """Score every primed candidate against ``qps``, then let all observe it."""
+        x = float(qps)
+        for i, candidate in enumerate(self.candidates):
+            if candidate.primed:
+                error = abs(candidate.predict() - x)
+                previous = self._errors[i]
+                self._errors[i] = (
+                    error
+                    if previous is None
+                    else self.error_alpha * error + (1.0 - self.error_alpha) * previous
+                )
+            candidate.observe(x)
+
+    def _trailing_error(self, index: int) -> float:
+        """Trailing error of one candidate, ``inf`` before any error exists."""
+        error = self._errors[index]
+        return float("inf") if error is None else error
+
+    def _best_index(self) -> int:
+        """Index of the primed candidate with the lowest trailing error."""
+        best = None
+        for i, candidate in enumerate(self.candidates):
+            if not candidate.primed:
+                continue
+            if best is None or self._trailing_error(i) < self._trailing_error(best):
+                best = i
+        if best is None:
+            raise RuntimeError("no candidate primed")
+        return best
+
+    def predict(self) -> float:
+        """The currently best-scoring candidate's one-step-ahead forecast."""
+        _require_primed(self)
+        return _clamped(self.candidates[self._best_index()].predict())
+
+    @property
+    def primed(self) -> bool:
+        """Whether at least one load has been observed."""
+        return any(candidate.primed for candidate in self.candidates)
+
+
+@dataclass
+class HazardDwellForecaster:
+    """Forecast how long the next dwell segment will last, from past dwells.
+
+    The router's cost-aware switch gate needs an expected dwell length to
+    amortize the switch cost over.  PR 5 approximated it with the
+    candidate's persistence streak; this forecaster instead tracks an
+    exponentially weighted mean of *completed* dwell lengths and reads the
+    expected remaining dwell off a memoryless (geometric) hazard model: if
+    dwells end each step with probability ``1 / mean_dwell``, the expected
+    dwell ahead is simply ``mean_dwell``, regardless of how long the
+    current segment has already lasted.
+
+    Parameters
+    ----------
+    alpha : float
+        Smoothing factor in ``(0, 1]`` for the dwell-length EWMA.
+    prior_dwell : float
+        Expected dwell (steps) returned before any dwell has completed;
+        must be at least 1.
+    """
+
+    alpha: float = 0.3
+    prior_dwell: float = 1.0
+    _mean: float | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        """Validate the smoothing factor and the prior."""
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must lie in (0, 1], got {self.alpha}")
+        if self.prior_dwell < 1.0:
+            raise ValueError("prior_dwell must be at least one step")
+
+    def reset(self) -> None:
+        """Forget every completed dwell."""
+        self._mean = None
+
+    def observe_dwell(self, steps: int) -> None:
+        """Record one *completed* dwell segment's length in steps."""
+        if steps < 1:
+            raise ValueError("a dwell lasts at least one step")
+        x = float(steps)
+        self._mean = x if self._mean is None else self.alpha * x + (1.0 - self.alpha) * self._mean
+
+    def expected_dwell(self) -> float:
+        """Expected length (steps) of the next dwell under the geometric hazard."""
+        return self.prior_dwell if self._mean is None else max(self._mean, 1.0)
+
+
 #: Estimator constructors by CLI/artifact name.
 ESTIMATORS = {
     "windowed": WindowedMean,
     "ewma": EWMA,
     "holt": HoltTrend,
+    "auto": AutoSelector,
 }
 
 
@@ -299,15 +448,17 @@ def estimator_from_knobs(
 ) -> LoadEstimator:
     """Build the named estimator from the shared CLI/experiment knob set.
 
-    The ``recpipe route`` flags and the ``router`` experiment expose the
-    same two estimator knobs; this single dispatch keeps them from
-    drifting: ``window`` reaches the windowed mean, ``ewma_alpha`` reaches
-    the EWMA, and every other estimator uses its class defaults.
+    The ``recpipe route`` flags and the ``router``/``frontend`` experiments
+    expose the same two estimator knobs; this single dispatch keeps them
+    from drifting: ``window`` reaches the windowed mean, ``ewma_alpha``
+    reaches the EWMA (both directly and inside the ``auto`` selector's
+    candidate set), and every other estimator uses its class defaults.
 
     Parameters
     ----------
     name : str
-        One of :data:`ESTIMATORS` (``windowed``, ``ewma``, ``holt``).
+        One of :data:`ESTIMATORS` (``windowed``, ``ewma``, ``holt``,
+        ``auto``).
     window : int
         Sliding-window length for ``windowed``.
     ewma_alpha : float
@@ -322,4 +473,8 @@ def estimator_from_knobs(
         return WindowedMean(window=window)
     if name == "ewma":
         return EWMA(alpha=ewma_alpha)
+    if name == "auto":
+        return AutoSelector(
+            candidates=(WindowedMean(window=window), EWMA(alpha=ewma_alpha), HoltTrend())
+        )
     return make_estimator(name)

@@ -1,0 +1,615 @@
+"""Per-query streaming frontend: admission control, dynamic batching, routing.
+
+The step router (:mod:`repro.serving.router`) decides once per dwell step —
+the coarse version of MP-Rec's per-query dynamic scheduler that picks a
+representation + hardware path *per query* under load.  This module closes
+that gap without giving up the router's analysis machinery:
+
+* :class:`QueryStream` — individual query arrivals realized from a
+  :class:`~repro.serving.trace.LoadTrace` (Poisson by default, or a
+  deterministic evenly-paced process for exact tests);
+* :class:`StreamingFrontend` — the per-query serving loop.  Arrivals are
+  grouped into fixed-width decision windows; each window's path comes from
+  the *same* estimator + hysteresis + switch-cost state machine the step
+  router runs (:meth:`~repro.serving.router.MultiPathRouter.decide_from_estimates`),
+  which is what makes the frontend's equivalence guarantee structural
+  rather than statistical: with the window width equal to the trace's
+  dwell step, the frontend's per-window path choices reproduce
+  :meth:`~repro.serving.router.MultiPathRouter.decide` bit-for-bit.
+
+Within a window every query passes **admission control** with three
+outcomes:
+
+* *admit* — served this window.  The admission cap is
+  ``floor(max_feasible_qps(path) * window_seconds)`` queries, so the
+  admitted rate can never exceed the chosen path's feasible frontier;
+* *defer* — queued (FIFO) for a later window when the cap is exhausted,
+  up to ``defer_windows`` windows' worth of capacity.  Deferred queries
+  are admitted ahead of newer arrivals;
+* *shed* — rejected at the door when the queue is full too.  Shed queries
+  count as SLA violations and deliver zero quality.
+
+Admitted queries are grouped into **dynamically sized batches** under the
+SLA: at estimated load ``λ`` a batch of ``b`` takes about ``b / λ`` seconds
+to fill, so the largest batch whose fill time fits the predicted headroom
+is ``b = floor((sla − p99(path, λ)) · λ)``, clamped to ``[1, max_batch]``
+(and to 1 whenever the path has no predicted headroom).
+
+The decision loop is vectorized the way PR 3 vectorized simulation: path
+candidates for all windows come from one
+:meth:`~repro.serving.router.PathTable.best_path_batch` call, batch sizes
+from array arithmetic, and per-query bookkeeping from contiguous slice
+fills over arrival-sorted arrays — only the inherently sequential
+hysteresis/backlog state machine remains a scalar loop over *windows*, so
+scheduling cost is amortized over every query in the window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.metrics import weighted_percentile
+from repro.serving.router import MultiPathRouter, PathTable, RoutingResult
+from repro.serving.trace import LoadTrace
+
+__all__ = [
+    "QUERY_ADMITTED",
+    "QUERY_DEFERRED",
+    "QUERY_SHED",
+    "ARRIVAL_PROCESSES",
+    "FrontendResult",
+    "FrontendSchedule",
+    "QueryStream",
+    "StreamingFrontend",
+]
+
+#: Admission states recorded per query in :attr:`FrontendSchedule.query_state`.
+QUERY_SHED = 0
+QUERY_ADMITTED = 1
+QUERY_DEFERRED = 2
+
+#: Arrival processes :meth:`QueryStream.from_trace` can realize.
+ARRIVAL_PROCESSES = ("poisson", "paced")
+
+
+@dataclass(frozen=True)
+class QueryStream:
+    """Individual query arrivals realized from a load trace.
+
+    Parameters
+    ----------
+    trace_name : str
+        Name of the generating trace, carried into artifacts.
+    duration_seconds : float
+        Span the stream covers (the trace's duration).
+    arrival_seconds : np.ndarray
+        Arrival time of every query, non-decreasing, in ``[0, duration)``.
+    """
+
+    trace_name: str
+    duration_seconds: float
+    arrival_seconds: np.ndarray
+
+    def __post_init__(self) -> None:
+        """Validate ordering and freeze the arrival array."""
+        arrivals = np.asarray(self.arrival_seconds, dtype=np.float64)
+        if arrivals.ndim != 1:
+            raise ValueError("arrival_seconds must be one-dimensional")
+        if arrivals.size and (np.any(np.diff(arrivals) < 0) or arrivals[0] < 0):
+            raise ValueError("arrivals must be non-negative and non-decreasing")
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        arrivals.setflags(write=False)
+        object.__setattr__(self, "arrival_seconds", arrivals)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries in the stream."""
+        return int(self.arrival_seconds.size)
+
+    @classmethod
+    def from_trace(cls, trace: LoadTrace, seed: int = 0, process: str = "poisson") -> "QueryStream":
+        """Realize per-query arrivals from a trace's step-wise offered load.
+
+        Parameters
+        ----------
+        trace : LoadTrace
+            The generating load trace.
+        seed : int
+            Arrival-noise seed (ignored by the ``paced`` process); the
+            same (trace, seed, process) triple reproduces the same stream.
+        process : str
+            ``"poisson"`` — per-step Poisson counts with uniform arrival
+            offsets, the stochastic process the load model assumes; or
+            ``"paced"`` — deterministic error-diffused counts
+            (``diff(floor(cumsum(expected)))``) with evenly spaced
+            arrivals, for tests that need exact, seed-free streams.
+
+        Returns
+        -------
+        QueryStream
+            The realized stream, sorted by arrival time.
+        """
+        expected = trace.queries_per_step()
+        starts = np.arange(trace.num_steps) * trace.step_seconds
+        if process == "poisson":
+            rng = np.random.default_rng(seed)
+            counts = rng.poisson(expected)
+            times = np.repeat(starts, counts)
+            times = np.sort(times + trace.step_seconds * rng.random(times.size))
+        elif process == "paced":
+            cumulative = np.floor(np.cumsum(expected) + 1e-9).astype(np.int64)
+            counts = np.diff(np.concatenate(([0], cumulative)))
+            offsets = np.arange(int(counts.sum())) - np.repeat(cumulative - counts, counts)
+            spacing = np.divide(
+                trace.step_seconds, counts, out=np.zeros(counts.size), where=counts > 0
+            )
+            times = np.repeat(starts, counts) + (offsets + 0.5) * np.repeat(spacing, counts)
+        else:
+            raise ValueError(
+                f"unknown arrival process {process!r}; expected one of {ARRIVAL_PROCESSES}"
+            )
+        return cls(trace.name, trace.duration_seconds, times)
+
+
+@dataclass(eq=False)
+class FrontendSchedule:
+    """Everything the frontend decided for one stream — no simulation yet.
+
+    Produced by :meth:`StreamingFrontend.schedule` (the serving-time hot
+    path the throughput benchmark measures); consumed by
+    :meth:`StreamingFrontend.serve` to score the schedule on the analytic
+    engine.
+
+    Attributes
+    ----------
+    trace_name : str
+        Name of the served trace.
+    window_seconds : float
+        Decision-window width.
+    estimates : np.ndarray
+        Causal load estimate entering each window.
+    window_paths : np.ndarray
+        Chosen path index per window.
+    window_switches : np.ndarray
+        Whether each window starts a new dwell segment.
+    window_batch : np.ndarray
+        Dynamic batch size chosen per window.
+    window_arrivals : np.ndarray
+        Queries arriving in each window.
+    window_admitted : np.ndarray
+        Queries served in each window (fresh arrivals + drained backlog).
+    window_from_queue : np.ndarray
+        The drained-backlog share of ``window_admitted``.
+    window_deferred : np.ndarray
+        Fresh arrivals pushed to the backlog in each window.
+    window_shed : np.ndarray
+        Fresh arrivals rejected in each window.
+    query_state : np.ndarray
+        Admission outcome per query (``QUERY_SHED`` / ``QUERY_ADMITTED``
+        / ``QUERY_DEFERRED``; deferred queries dropped at stream end are
+        reclassified as shed).
+    query_path : np.ndarray
+        Path index that served each query (``-1``: shed).
+    query_serve_window : np.ndarray
+        Window that served each query (``-1``: shed).
+    max_queue_depth : int
+        Deepest the defer queue ever grew, in queries.
+    """
+
+    trace_name: str
+    window_seconds: float
+    estimates: np.ndarray
+    window_paths: np.ndarray
+    window_switches: np.ndarray
+    window_batch: np.ndarray
+    window_arrivals: np.ndarray
+    window_admitted: np.ndarray
+    window_from_queue: np.ndarray
+    window_deferred: np.ndarray
+    window_shed: np.ndarray
+    query_state: np.ndarray
+    query_path: np.ndarray
+    query_serve_window: np.ndarray
+    max_queue_depth: int
+
+    @property
+    def num_windows(self) -> int:
+        """Number of decision windows in the schedule."""
+        return int(self.window_paths.size)
+
+    @property
+    def offered_queries(self) -> int:
+        """Total queries the stream offered."""
+        return int(self.query_state.size)
+
+    @property
+    def served_queries(self) -> int:
+        """Queries served (promptly or after deferral)."""
+        return int(self.window_admitted.sum())
+
+    @property
+    def deferred_served_queries(self) -> int:
+        """Queries that waited in the defer queue and were later served."""
+        return int(np.sum(self.query_state == QUERY_DEFERRED))
+
+    @property
+    def shed_queries(self) -> int:
+        """Queries rejected by admission control (never served)."""
+        return int(np.sum(self.query_state == QUERY_SHED))
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered queries shed."""
+        return self.shed_queries / self.offered_queries if self.offered_queries else 0.0
+
+    @property
+    def defer_rate(self) -> float:
+        """Fraction of offered queries served only after deferral."""
+        return self.deferred_served_queries / self.offered_queries if self.offered_queries else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Served-query-weighted mean of the per-window batch sizes."""
+        served = self.window_admitted.sum()
+        if not served:
+            return 0.0
+        return float(np.sum(self.window_admitted * self.window_batch) / served)
+
+    @property
+    def num_switches(self) -> int:
+        """Path switches committed across the schedule."""
+        return int(np.sum(self.window_switches[1:]))
+
+
+@dataclass(frozen=True, eq=False)
+class FrontendResult:
+    """A scored frontend schedule: routing metrics plus admission statistics.
+
+    Attributes
+    ----------
+    routing : RoutingResult
+        The router-comparable aggregate (policy ``"frontend"``); its
+        ``path_steps``/``switch_steps`` are per *window*.  Shed queries
+        count as SLA violations with zero delivered quality; deferred
+        queries are served but their queueing delay busts the SLA, so they
+        violate too.
+    schedule : FrontendSchedule
+        The full per-window / per-query decision record.
+    """
+
+    routing: RoutingResult
+    schedule: FrontendSchedule
+
+
+@dataclass
+class StreamingFrontend:
+    """The per-query serving loop: admission, dynamic batching, path routing.
+
+    The frontend shares its decision core with the step router it wraps:
+    load estimation goes through the router's estimator
+    (:meth:`~repro.serving.router.MultiPathRouter.estimate_over` on the
+    trace's per-window offered rates — the same observable the step router
+    sees) and path selection through
+    :meth:`~repro.serving.router.MultiPathRouter.decide_from_estimates`
+    (hysteresis, switch cost, dwell forecasting included).  With
+    ``window_seconds`` equal to the trace's step width the per-window path
+    choices therefore reproduce the step router's bit-for-bit; smaller
+    windows re-decide faster than the trace changes, larger ones smooth
+    over it.
+
+    Parameters
+    ----------
+    router : MultiPathRouter
+        The decision core (table, estimator, hysteresis, switch cost).
+    window_seconds : float, optional
+        Decision-window width (default: the served trace's step width).
+    max_batch : int
+        Upper clamp on the dynamic batch size.
+    batching : bool
+        ``False`` pins every batch to size 1.
+    defer_windows : float
+        Defer-queue capacity, in multiples of the current window's
+        admission cap; ``0`` disables deferral (admit or shed only).
+    arrival_process : str
+        Arrival process used when no explicit stream is supplied
+        (``"poisson"`` or ``"paced"``).
+    arrival_seed : int
+        Seed for the implicit arrival draw.
+    """
+
+    router: MultiPathRouter
+    window_seconds: float | None = None
+    max_batch: int = 64
+    batching: bool = True
+    defer_windows: float = 1.0
+    arrival_process: str = "poisson"
+    arrival_seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate the frontend knobs."""
+        if self.window_seconds is not None and self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.defer_windows < 0:
+            raise ValueError("defer_windows must be non-negative")
+        if self.arrival_process not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.arrival_process!r}; "
+                f"expected one of {ARRIVAL_PROCESSES}"
+            )
+
+    @property
+    def table(self) -> PathTable:
+        """The compiled routing table decisions are read from."""
+        return self.router.table
+
+    def _window_width(self, trace: LoadTrace) -> float:
+        """The effective decision-window width for one trace."""
+        return float(self.window_seconds or trace.step_seconds)
+
+    def _stream_for(self, trace: LoadTrace) -> QueryStream:
+        """The implicit arrival stream used when none is supplied."""
+        return QueryStream.from_trace(trace, seed=self.arrival_seed, process=self.arrival_process)
+
+    def decide_windows(self, trace: LoadTrace) -> tuple[np.ndarray, list[int], list[bool]]:
+        """Per-window estimates, path choices and switch flags for a trace.
+
+        This is the window-granular decision record the equivalence suite
+        compares against :meth:`MultiPathRouter.decide`: estimates come
+        from the router's estimator over the trace's per-window offered
+        rates, paths from the router's own state machine.
+
+        Parameters
+        ----------
+        trace : LoadTrace
+            The served load trace.
+
+        Returns
+        -------
+        tuple[np.ndarray, list[int], list[bool]]
+            The causal estimate entering each window, the chosen path per
+            window, and the per-window switch markers.
+        """
+        rates = trace.window_rates(self._window_width(trace))
+        estimates = self.router.estimate_over(rates)
+        paths, switches = self.router.decide_from_estimates(estimates)
+        return estimates, paths, switches
+
+    def _batch_sizes(self, estimates: np.ndarray, paths: np.ndarray) -> np.ndarray:
+        """Dynamic batch size per window: fill time must fit the headroom.
+
+        At estimated load ``λ`` a batch of ``b`` takes ``b / λ`` seconds to
+        fill, so the largest SLA-safe batch is
+        ``floor((sla − p99(path, λ)) · λ)``, clamped to ``[1, max_batch]``
+        and to 1 wherever the path predicts no headroom (or batching is
+        disabled).
+        """
+        batch = np.ones(estimates.size, dtype=np.int64)
+        if not self.batching or self.max_batch == 1:
+            return batch
+        p99 = np.empty(estimates.size)
+        for index in np.unique(paths):
+            mask = paths == index
+            p99[mask] = self.table.p99_profile(int(index), estimates[mask])
+        headroom = self.table.sla_seconds - p99
+        open_windows = np.isfinite(p99) & (headroom > 0)
+        batch[open_windows] = np.clip(
+            np.floor(headroom[open_windows] * estimates[open_windows]), 1, self.max_batch
+        ).astype(np.int64)
+        return batch
+
+    def schedule(self, trace: LoadTrace, stream: QueryStream | None = None) -> FrontendSchedule:
+        """Route a whole query stream: the serving-time hot path.
+
+        No engine work happens here — only the compiled table, the
+        estimator and integer bookkeeping — so this is what the routed
+        queries/s benchmark measures.  Per-query outcomes are written with
+        contiguous slice fills over the arrival-sorted query arrays; the
+        scalar loop runs once per *window*.
+
+        Parameters
+        ----------
+        trace : LoadTrace
+            The offered-load trace (drives estimation and windowing).
+        stream : QueryStream, optional
+            The realized arrivals (default: drawn from the trace with the
+            frontend's ``arrival_process`` and ``arrival_seed``).
+
+        Returns
+        -------
+        FrontendSchedule
+            Per-window and per-query decisions.
+        """
+        window = self._window_width(trace)
+        if stream is None:
+            stream = self._stream_for(trace)
+        estimates, paths, switches = self.decide_windows(trace)
+        num_windows = estimates.size
+        paths_array = np.asarray(paths, dtype=np.intp)
+        batch = self._batch_sizes(estimates, paths_array)
+
+        window_of = np.floor_divide(stream.arrival_seconds, window).astype(np.int64)
+        if stream.num_queries and window_of[-1] >= num_windows:
+            raise ValueError("stream extends past the trace duration")
+        arrivals = np.bincount(window_of, minlength=num_windows)
+        window_ends = np.cumsum(arrivals)
+
+        max_feasible = np.asarray(
+            [self.table.max_feasible_qps(i) for i in range(len(self.table.paths))]
+        )
+        caps = np.floor(max_feasible[paths_array] * window).astype(np.int64)
+        queue_limits = np.floor(self.defer_windows * caps).astype(np.int64)
+
+        query_state = np.zeros(stream.num_queries, dtype=np.int8)
+        query_path = np.full(stream.num_queries, -1, dtype=np.int32)
+        query_serve_window = np.full(stream.num_queries, -1, dtype=np.int64)
+        admitted = np.zeros(num_windows, dtype=np.int64)
+        from_queue = np.zeros(num_windows, dtype=np.int64)
+        deferred = np.zeros(num_windows, dtype=np.int64)
+        shed = np.zeros(num_windows, dtype=np.int64)
+
+        backlog: deque[tuple[int, int]] = deque()
+        backlog_size = 0
+        max_queue_depth = 0
+        for w in range(num_windows):
+            path = int(paths_array[w])
+            cap = int(caps[w])
+            remaining = cap
+            # Drain the FIFO backlog ahead of this window's fresh arrivals.
+            while backlog and remaining > 0:
+                lo, hi = backlog[0]
+                take = min(hi - lo, remaining)
+                query_path[lo : lo + take] = path
+                query_serve_window[lo : lo + take] = w
+                remaining -= take
+                backlog_size -= take
+                from_queue[w] += take
+                if take == hi - lo:
+                    backlog.popleft()
+                else:
+                    backlog[0] = (lo + take, hi)
+            start = int(window_ends[w - 1]) if w else 0
+            end = int(window_ends[w])
+            take = min(end - start, remaining)
+            if take:
+                query_state[start : start + take] = QUERY_ADMITTED
+                query_path[start : start + take] = path
+                query_serve_window[start : start + take] = w
+            admitted[w] = cap - (remaining - take)
+            overflow_lo = start + take
+            space = int(queue_limits[w]) - backlog_size
+            defer = min(end - overflow_lo, max(space, 0))
+            if defer:
+                query_state[overflow_lo : overflow_lo + defer] = QUERY_DEFERRED
+                backlog.append((overflow_lo, overflow_lo + defer))
+                backlog_size += defer
+            deferred[w] = defer
+            shed[w] = end - overflow_lo - defer
+            max_queue_depth = max(max_queue_depth, backlog_size)
+        # Queries still queued when the stream ends were never served.
+        for lo, hi in backlog:
+            query_state[lo:hi] = QUERY_SHED
+
+        return FrontendSchedule(
+            trace_name=trace.name,
+            window_seconds=window,
+            estimates=estimates,
+            window_paths=paths_array,
+            window_switches=np.asarray(switches, dtype=bool),
+            window_batch=batch,
+            window_arrivals=arrivals,
+            window_admitted=admitted,
+            window_from_queue=from_queue,
+            window_deferred=deferred,
+            window_shed=shed,
+            query_state=query_state,
+            query_path=query_path,
+            query_serve_window=query_serve_window,
+            max_queue_depth=max_queue_depth,
+        )
+
+    def serve(self, trace: LoadTrace, stream: QueryStream | None = None) -> FrontendResult:
+        """Schedule a stream and score the schedule on the analytic engine.
+
+        Every window with admitted queries becomes a dwell cell: the
+        chosen path serves a steady-state arrival window at the *admitted*
+        rate (admission control means the engine never sees an infeasible
+        load unless the table's frontier and the engine's utilization
+        threshold disagree, in which case the cell counts as saturated,
+        exactly as in :meth:`PathTable.evaluate_route`).  Switch windows
+        charge the router's ``switch_penalty_seconds`` to every query.
+        Shed queries count as SLA violations with ``inf`` latency mass and
+        zero quality; deferred-then-served queries deliver their path's
+        quality but violate the SLA through their queueing delay, which is
+        pooled into the latency sample.
+
+        Parameters
+        ----------
+        trace : LoadTrace
+            The offered-load trace.
+        stream : QueryStream, optional
+            The realized arrivals (default: drawn from the trace).
+
+        Returns
+        -------
+        FrontendResult
+            Routing metrics plus the underlying schedule.
+        """
+        if stream is None:
+            stream = self._stream_for(trace)
+        if stream.num_queries == 0:
+            raise ValueError("cannot serve an empty query stream")
+        plan = self.schedule(trace, stream)
+        table = self.table
+        total = plan.offered_queries
+
+        served_windows = np.flatnonzero(plan.window_admitted > 0)
+        admitted_qps = plan.window_admitted[served_windows] / plan.window_seconds
+        for index in np.unique(plan.window_paths[served_windows]):
+            mask = plan.window_paths[served_windows] == index
+            table.prefill_dwell(int(index), admitted_qps[mask])
+
+        violations = 0.0
+        quality_mass = 0.0
+        effective_mass = 0.0
+        occupancy: dict[str, float] = {}
+        pooled_values: list[np.ndarray] = []
+        pooled_weights: list[np.ndarray] = []
+        penalty_base = self.router.switch_penalty_seconds
+        for w, qps in zip(served_windows, admitted_qps):
+            index = int(plan.window_paths[w])
+            path = table.paths[index]
+            weight = int(plan.window_admitted[w])
+            prompt = weight - int(plan.window_from_queue[w])
+            quality_mass += weight * path.quality
+            occupancy[path.name] = occupancy.get(path.name, 0.0) + weight
+            latencies = table.dwell_latencies(index, float(qps))
+            if latencies is None:  # saturated: every query violates, none delivers
+                violations += weight
+                pooled_values.append(np.asarray([np.inf]))
+                pooled_weights.append(np.asarray([float(weight)]))
+                continue
+            penalty = penalty_base if plan.window_switches[w] else 0.0
+            observed = latencies + penalty if penalty else latencies
+            violating = float(np.mean(observed > table.sla_seconds))
+            violations += prompt * violating + (weight - prompt)
+            effective_mass += prompt * path.quality * (1.0 - violating)
+            pooled_values.append(observed)
+            pooled_weights.append(np.full(observed.size, prompt / observed.size))
+        # Deferred queries: their queueing delay is their latency story.
+        deferred_mask = plan.query_state == QUERY_DEFERRED
+        if np.any(deferred_mask):
+            waits = (
+                plan.query_serve_window[deferred_mask] * plan.window_seconds
+                - stream.arrival_seconds[deferred_mask]
+            )
+            pooled_values.append(np.maximum(waits, 0.0))
+            pooled_weights.append(np.ones(waits.size))
+        shed_total = plan.shed_queries
+        if shed_total:
+            violations += shed_total
+            pooled_values.append(np.asarray([np.inf]))
+            pooled_weights.append(np.asarray([float(shed_total)]))
+
+        p99 = weighted_percentile(
+            np.concatenate(pooled_values), np.concatenate(pooled_weights), 99.0
+        )
+        routing = RoutingResult(
+            policy="frontend",
+            trace_name=trace.name,
+            quality=quality_mass / total,
+            effective_quality=effective_mass / total,
+            p99_seconds=p99,
+            violation_rate=violations / total,
+            num_switches=plan.num_switches,
+            total_queries=float(total),
+            path_steps=tuple(int(i) for i in plan.window_paths),
+            switch_steps=tuple(bool(s) for s in plan.window_switches),
+            occupancy={name: mass / total for name, mass in occupancy.items()},
+        )
+        return FrontendResult(routing=routing, schedule=plan)

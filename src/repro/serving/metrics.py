@@ -34,6 +34,43 @@ def percentile(latencies: np.ndarray, q: float) -> float:
     return float(np.percentile(latencies, q))
 
 
+def weighted_percentile(values: np.ndarray, weights: np.ndarray, q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``values`` under sample ``weights``.
+
+    Inverse of the weighted empirical CDF: the smallest value whose
+    cumulative weight reaches ``q`` percent of the total.  Both the router
+    and the per-query frontend pool heterogeneous dwell samples (different
+    sizes, different per-query weights, possibly ``inf`` mass from saturated
+    or shed queries) through this single definition.
+
+    Parameters
+    ----------
+    values : np.ndarray
+        Sample values (``inf`` entries are legal and sort last).
+    weights : np.ndarray
+        Non-negative sample weights, same shape as ``values``; must sum to
+        a positive total.
+    q : float
+        Percentile in ``[0, 100]``.
+
+    Returns
+    -------
+    float
+        The weighted percentile, possibly ``inf``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    order = np.argsort(values)
+    values = values[order]
+    weights = weights[order]
+    cumulative = np.cumsum(weights)
+    total = cumulative[-1]
+    if total <= 0:
+        raise ValueError("weights must sum to a positive total")
+    index = int(np.searchsorted(cumulative, (q / 100.0) * total, side="left"))
+    return float(values[min(index, values.size - 1)])
+
+
 @dataclass(frozen=True)
 class LatencyReport:
     """Summary of one at-scale simulation run."""

@@ -52,7 +52,8 @@ from repro.serving.engine import (
     draw_unit_arrivals,
     spawn_seeds,
 )
-from repro.serving.estimators import LoadEstimator, WindowedMean
+from repro.serving.estimators import HazardDwellForecaster, LoadEstimator, WindowedMean
+from repro.serving.metrics import weighted_percentile
 from repro.serving.resources import PipelinePlan
 from repro.serving.trace import LoadTrace
 
@@ -149,19 +150,6 @@ class RoutingResult:
     path_steps: tuple[int, ...]
     switch_steps: tuple[bool, ...]
     occupancy: dict[str, float]
-
-
-def _weighted_percentile(values: np.ndarray, weights: np.ndarray, q: float) -> float:
-    """The ``q``-th percentile (0..100) of ``values`` under sample ``weights``."""
-    order = np.argsort(values)
-    values = values[order]
-    weights = weights[order]
-    cumulative = np.cumsum(weights)
-    total = cumulative[-1]
-    if total <= 0:
-        raise ValueError("weights must sum to a positive total")
-    index = int(np.searchsorted(cumulative, (q / 100.0) * total, side="left"))
-    return float(values[min(index, values.size - 1)])
 
 
 @dataclass
@@ -420,6 +408,92 @@ class PathTable:
         frontier_qps = self._frontier_qps[path_index]
         return float(frontier_qps[-1]) if frontier_qps.size else 0.0
 
+    def p99_profile(self, path_index: int, qps_values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`p99_at`: one path's p99 at many loads at once.
+
+        Element ``k`` equals ``p99_at(path_index, qps_values[k])`` exactly
+        (both go through the same ``np.interp`` over the same frontier), so
+        batched decisions and scalar decisions cannot disagree.
+
+        Parameters
+        ----------
+        path_index : int
+            Index into :attr:`paths`.
+        qps_values : np.ndarray
+            Strictly positive loads to look up, any shape.
+
+        Returns
+        -------
+        np.ndarray
+            p99 seconds per load, ``inf`` beyond the path's frontier.
+        """
+        qps_values = np.asarray(qps_values, dtype=np.float64)
+        if qps_values.size and np.min(qps_values) <= 0:
+            raise ValueError("qps values must be positive")
+        profile = np.full(qps_values.shape, np.inf)
+        frontier_qps = self._frontier_qps[path_index]
+        if frontier_qps.size:
+            inside = qps_values <= frontier_qps[-1]
+            profile[inside] = np.interp(
+                qps_values[inside], frontier_qps, self._frontier_p99[path_index]
+            )
+        return profile
+
+    def best_path_batch(self, qps_values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`best_path`: route a whole load series at once.
+
+        One pass over the eligible paths (a handful) instead of one pass
+        per load: each path's frontier profile is interpolated for the full
+        series and the running best is updated elementwise.  Tie-breaking
+        is *strict*, replicating ``max``/``min`` first-wins semantics, so
+        ``best_path_batch(q)[k] == best_path(q[k])`` for every element —
+        the property the per-query frontend's equivalence guarantee rests
+        on.
+
+        Parameters
+        ----------
+        qps_values : np.ndarray
+            Strictly positive loads to route, shape ``(n,)``.
+
+        Returns
+        -------
+        np.ndarray
+            Chosen path index per load, dtype ``intp``, shape ``(n,)``.
+        """
+        qps_values = np.asarray(qps_values, dtype=np.float64)
+        if qps_values.ndim != 1:
+            raise ValueError("qps_values must be one-dimensional")
+        n = qps_values.size
+        meet_index = np.full(n, -1, dtype=np.intp)
+        meet_quality = np.full(n, -np.inf)
+        meet_p99 = np.full(n, np.inf)
+        shed_index = np.empty(n, dtype=np.intp)
+        shed_p99 = np.full(n, np.inf)
+        shed_capacity = np.full(n, -np.inf)
+        for i in self._eligible:
+            p99 = self.p99_profile(i, qps_values)
+            quality = self.paths[i].quality
+            capacity = self.paths[i].capacity_qps
+            meets = p99 <= self.sla_seconds
+            better = meets & (
+                (meet_index < 0)
+                | (quality > meet_quality)
+                | ((quality == meet_quality) & (p99 < meet_p99))
+            )
+            meet_index[better] = i
+            meet_quality[better] = quality
+            meet_p99[better] = p99[better]
+            if i == self._eligible[0]:
+                shed_index[:] = i
+                shed_p99 = p99.copy()
+                shed_capacity[:] = capacity
+            else:
+                lower = (p99 < shed_p99) | ((p99 == shed_p99) & (capacity > shed_capacity))
+                shed_index[lower] = i
+                shed_p99[lower] = p99[lower]
+                shed_capacity[lower] = capacity
+        return np.where(meet_index >= 0, meet_index, shed_index)
+
     def best_path(self, qps: float) -> int:
         """The path the table routes to at ``qps``.
 
@@ -488,6 +562,51 @@ class PathTable:
         latencies = analytic_latencies(path.plan, arrivals)
         for row, q in enumerate(live):
             self._segments[(path_index, q)] = latencies[row, cfg.warmup_queries :]
+
+    def dwell_latencies(self, path_index: int, qps: float) -> np.ndarray | None:
+        """Steady-state per-query latencies of one (path, load) dwell cell.
+
+        The public face of the memoized dwell-segment cache the route
+        evaluators share: the per-query frontend scores admitted windows on
+        exactly the samples :meth:`evaluate_route` would draw for the same
+        (path, load) pair.
+
+        Parameters
+        ----------
+        path_index : int
+            Index into :attr:`paths`.
+        qps : float
+            Offered load of the dwell cell; must be positive.
+
+        Returns
+        -------
+        np.ndarray or None
+            Post-warm-up latency sample, or ``None`` when the cell is
+            saturated (offered load at or beyond the engine's saturation
+            threshold).
+        """
+        if qps <= 0:
+            raise ValueError(f"qps must be positive, got {qps}")
+        return self._segment_latencies(path_index, float(qps))
+
+    def prefill_dwell(self, path_index: int, qps_values: Sequence[float]) -> None:
+        """Simulate every missing (path, load) dwell cell in one batched call.
+
+        Callers that will read many :meth:`dwell_latencies` cells of one
+        path (the route evaluators, the per-query frontend) prefill them
+        here so the engine runs one vectorized kernel per path instead of
+        one per load.
+
+        Parameters
+        ----------
+        path_index : int
+            Index into :attr:`paths`.
+        qps_values : sequence of float
+            The strictly positive dwell-cell loads about to be read.
+        """
+        if any(q <= 0 for q in qps_values):
+            raise ValueError("qps values must be positive")
+        self._fill_segments(path_index, [float(q) for q in qps_values])
 
     def evaluate_route(
         self,
@@ -563,7 +682,7 @@ class PathTable:
             effective_mass += weight * path.quality * (1.0 - violating)
             pooled_values.append(observed)
             pooled_weights.append(np.full(observed.size, weight / observed.size))
-        p99 = _weighted_percentile(
+        p99 = weighted_percentile(
             np.concatenate(pooled_values), np.concatenate(pooled_weights), 99.0
         )
         return RoutingResult(
@@ -688,6 +807,12 @@ class MultiPathRouter:
         Predicted p99 gain (seconds, accumulated over the expected dwell)
         a shedding switch must repay before it is committed; ``0`` disables
         the gate.
+    dwell_forecaster : HazardDwellForecaster, optional
+        When set, the cost gate amortizes over
+        ``max(streak, expected_dwell())`` — a hazard-rate forecast of the
+        dwell ahead learned from completed dwell lengths — instead of the
+        persistence streak alone.  The default (``None``) reproduces the
+        streak-only decisions bit-for-bit.
     """
 
     table: PathTable
@@ -696,6 +821,7 @@ class MultiPathRouter:
     switch_penalty_seconds: float = 0.0
     estimator: LoadEstimator | None = None
     switch_cost_seconds: float = 0.0
+    dwell_forecaster: HazardDwellForecaster | None = None
 
     def __post_init__(self) -> None:
         """Validate the policy knobs and default the estimator."""
@@ -715,20 +841,42 @@ class MultiPathRouter:
         """The active estimator's artifact label (``windowed``/``ewma``/...)."""
         return type(self.estimator).name
 
-    def estimate_series(self, trace: LoadTrace) -> np.ndarray:
-        """The router's load estimate entering every step, in one pass.
+    def estimate_over(self, observed: np.ndarray) -> np.ndarray:
+        """The load estimate entering every step of an observed load series.
 
-        Step 0 bootstraps from the trace's first load (the provisioning
+        Step 0 bootstraps from the series' first value (the provisioning
         estimate a deployment starts from); the estimate for step ``t``
         then comes from the estimator after observing steps ``0 .. t-1`` —
-        it never peeks at the current step.
+        it never peeks at the current step.  The per-query frontend feeds
+        its per-window observed rates through this same method, so the two
+        layers cannot disagree on estimation semantics.
+
+        Parameters
+        ----------
+        observed : np.ndarray
+            Strictly positive observed loads, one per step.
+
+        Returns
+        -------
+        np.ndarray
+            The causal estimate entering each step, same length.
         """
+        observed = np.asarray(observed, dtype=np.float64)
+        if observed.ndim != 1 or observed.size == 0:
+            raise ValueError("observed loads must form a 1-D, non-empty series")
         self.estimator.reset()
-        estimates = np.empty(trace.num_steps, dtype=np.float64)
-        for t in range(trace.num_steps):
-            estimates[t] = self.estimator.predict() if t else float(trace.qps[0])
-            self.estimator.observe(float(trace.qps[t]))
+        estimates = np.empty(observed.size, dtype=np.float64)
+        for t in range(observed.size):
+            estimates[t] = self.estimator.predict() if t else float(observed[0])
+            self.estimator.observe(float(observed[t]))
         return estimates
+
+    def estimate_series(self, trace: LoadTrace) -> np.ndarray:
+        """The router's load estimate entering every trace step, in one pass.
+
+        Delegates to :meth:`estimate_over` on the trace's per-step loads.
+        """
+        return self.estimate_over(trace.qps)
 
     def estimate_qps(self, trace: LoadTrace, step: int) -> float:
         """The router's load estimate entering ``step``.
@@ -757,7 +905,11 @@ class MultiPathRouter:
         candidate's persistence so far is the forecast of its persistence
         to come), reaches ``switch_cost_seconds``.  The gain is finite
         there by construction: ``best_path`` proposes the lowest-p99
-        eligible path, whose p99 cannot exceed the current path's.
+        eligible path, whose p99 cannot exceed the current path's.  With a
+        :attr:`dwell_forecaster` attached, the amortization horizon is the
+        larger of the streak and the hazard-rate forecast of the dwell
+        ahead, so a router that has learned dwells run long commits
+        profitable switches earlier.
         """
         if self.switch_cost_seconds == 0:
             return True
@@ -767,7 +919,67 @@ class MultiPathRouter:
         if np.isinf(p99_current):
             return True
         gain = p99_current - self.table.p99_at(candidate, qps)
-        return gain * max(streak, 1) >= self.switch_cost_seconds
+        horizon = float(max(streak, 1))
+        if self.dwell_forecaster is not None:
+            horizon = max(horizon, self.dwell_forecaster.expected_dwell())
+        return gain * horizon >= self.switch_cost_seconds
+
+    def decide_from_estimates(self, estimates: np.ndarray) -> tuple[list[int], list[bool]]:
+        """Run the hysteresis/cost state machine over precomputed estimates.
+
+        The table's per-step candidate proposals come from one vectorized
+        :meth:`PathTable.best_path_batch` call; the sequential part — the
+        hysteresis streak, the cost gate, the dwell bookkeeping — is
+        inherently stateful and stays a scalar loop over cheap integer
+        comparisons.  Both :meth:`decide` and the per-query frontend
+        delegate here, so the step router and the frontend share one
+        decision state machine by construction.
+
+        Parameters
+        ----------
+        estimates : np.ndarray
+            The load estimate entering each step (strictly positive).
+
+        Returns
+        -------
+        tuple[list[int], list[bool]]
+            Per-step active path indices and switch markers.
+        """
+        estimates = np.asarray(estimates, dtype=np.float64)
+        if estimates.ndim != 1 or estimates.size == 0:
+            raise ValueError("estimates must form a 1-D, non-empty series")
+        if self.dwell_forecaster is not None:
+            self.dwell_forecaster.reset()
+        candidates = self.table.best_path_batch(estimates)
+        current = int(candidates[0])
+        steps = [current]
+        switches = [False]
+        pending: int | None = None
+        streak = 0
+        dwell_start = 0
+        for t in range(1, estimates.size):
+            candidate = int(candidates[t])
+            if candidate == current:
+                pending, streak = None, 0
+            elif candidate == pending:
+                streak += 1
+            else:
+                pending, streak = candidate, 1
+            if (
+                pending is not None
+                and streak >= self.hysteresis_steps
+                and self._switch_pays_off(current, pending, float(estimates[t]), streak)
+            ):
+                if self.dwell_forecaster is not None:
+                    self.dwell_forecaster.observe_dwell(t - dwell_start)
+                dwell_start = t
+                current = pending
+                pending, streak = None, 0
+                switches.append(True)
+            else:
+                switches.append(False)
+            steps.append(current)
+        return steps, switches
 
     def decide(self, trace: LoadTrace) -> tuple[list[int], list[bool]]:
         """Run the decision loop alone (no simulation): paths and switch flags.
@@ -786,33 +998,7 @@ class MultiPathRouter:
         tuple[list[int], list[bool]]
             Per-step active path indices and switch markers.
         """
-        estimates = self.estimate_series(trace)
-        current = self.table.best_path(float(estimates[0]))
-        steps = [current]
-        switches = [False]
-        pending: int | None = None
-        streak = 0
-        for t in range(1, trace.num_steps):
-            estimate = float(estimates[t])
-            candidate = self.table.best_path(estimate)
-            if candidate == current:
-                pending, streak = None, 0
-            elif candidate == pending:
-                streak += 1
-            else:
-                pending, streak = candidate, 1
-            if (
-                pending is not None
-                and streak >= self.hysteresis_steps
-                and self._switch_pays_off(current, pending, estimate, streak)
-            ):
-                current = pending
-                pending, streak = None, 0
-                switches.append(True)
-            else:
-                switches.append(False)
-            steps.append(current)
-        return steps, switches
+        return self.decide_from_estimates(self.estimate_series(trace))
 
     def route(self, trace: LoadTrace) -> RoutingResult:
         """Decide and simulate the whole trace online.

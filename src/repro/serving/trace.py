@@ -99,6 +99,61 @@ class LoadTrace:
         """Largest per-step load in the trace."""
         return float(np.max(self.qps))
 
+    def scaled(self, factor: float) -> "LoadTrace":
+        """A copy of the trace with every step's load multiplied by ``factor``.
+
+        Parameters
+        ----------
+        factor : float
+            Strictly positive load multiplier.
+
+        Returns
+        -------
+        LoadTrace
+            A new trace (same name and step width) at the scaled load.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return LoadTrace(self.name, self.step_seconds, self.qps * factor)
+
+    def window_rates(self, window_seconds: float) -> np.ndarray:
+        """Mean offered load over consecutive windows of ``window_seconds``.
+
+        Resamples the step-wise load series onto a fixed window width: each
+        window's rate is the time-weighted average of the step loads it
+        overlaps (partial overlaps weighted by overlap length), so total
+        offered work is conserved up to the trailing partial window.  When
+        the window width equals the step width this returns exactly
+        :attr:`qps` — the alignment the frontend's equivalence guarantee
+        relies on.
+
+        Parameters
+        ----------
+        window_seconds : float
+            Window width; must be positive.
+
+        Returns
+        -------
+        np.ndarray
+            One mean rate per window, covering the whole trace duration
+            (``ceil(duration / window_seconds)`` windows).
+        """
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if window_seconds == self.step_seconds:
+            return self.qps.copy()
+        num_windows = int(np.ceil(self.duration_seconds / window_seconds))
+        # Integral of the piecewise-constant rate up to each step boundary.
+        boundaries = np.arange(self.num_steps + 1) * self.step_seconds
+        cumulative_work = np.concatenate(([0.0], np.cumsum(self.queries_per_step())))
+        edges = np.minimum(
+            np.arange(num_windows + 1) * window_seconds, self.duration_seconds
+        )
+        work_at_edges = np.interp(edges, boundaries, cumulative_work)
+        widths = np.diff(edges)
+        widths[widths == 0] = window_seconds  # guard an exactly-aligned tail
+        return np.diff(work_at_edges) / widths
+
 
 def _noisy(qps: np.ndarray, noise: float, seed) -> np.ndarray:
     """Apply multiplicative lognormal-ish noise, clipped away from zero."""

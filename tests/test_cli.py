@@ -436,3 +436,88 @@ class TestRoute:
         static, oracle, online = (by_policy[p] for p in ("static", "oracle", "online"))
         assert online["sla_violation_rate"] < static["sla_violation_rate"]
         assert oracle["sla_violation_rate"] <= online["sla_violation_rate"]
+
+
+class TestRoutePerQuery:
+    """`recpipe route --mode per-query`: the streaming frontend surface."""
+
+    ROUTE_ARGS = TestRoute.ROUTE_ARGS + ["--mode", "per-query"]
+
+    def test_per_query_route_writes_artifacts(self, tmp_path):
+        out_dir = tmp_path / "route"
+        assert cli.main(self.ROUTE_ARGS + ["--output-dir", str(out_dir), "--quiet"]) == 0
+        manifest = artifacts.load_manifest(out_dir)
+        assert manifest["command"] == "route"
+        assert manifest["config"]["mode"] == "per-query"
+        assert manifest["config"]["arrival_process"] == "poisson"
+        assert manifest["config"]["batching"] is True
+        payload = artifacts.load_result_json(out_dir / "route.json")
+        assert {row["policy"] for row in payload["rows"]} == {"static", "oracle", "frontend"}
+        for key in ("shed_rate", "defer_rate", "mean_batch_size", "max_queue_depth"):
+            assert key in payload["rows"][0]
+        steps = artifacts.load_result_json(out_dir / "route_steps.json")
+        assert len(steps["rows"]) == 40  # one row per decision window
+        for key in (
+            "window",
+            "estimated_qps",
+            "path",
+            "switch",
+            "arrivals",
+            "admitted",
+            "deferred",
+            "shed",
+            "batch_size",
+        ):
+            assert key in steps["rows"][0]
+        for row in steps["rows"]:
+            assert row["admitted"] + row["deferred"] + row["shed"] >= row["arrivals"]
+
+    def test_per_query_frontend_respects_the_bounds(self, tmp_path):
+        out_dir = tmp_path / "route"
+        assert cli.main(self.ROUTE_ARGS + ["--output-dir", str(out_dir), "--quiet"]) == 0
+        rows = artifacts.load_result_json(out_dir / "route.json")["rows"]
+        by_policy = {row["policy"]: row for row in rows}
+        static, oracle, frontend = (by_policy[p] for p in ("static", "oracle", "frontend"))
+        assert oracle["sla_violation_rate"] <= frontend["sla_violation_rate"]
+        assert frontend["sla_violation_rate"] <= static["sla_violation_rate"]
+        assert static["shed_rate"] == 0.0  # the bounds never shed
+
+    def test_per_query_route_deterministic_under_fixed_seed(self, tmp_path):
+        dirs = [tmp_path / "a", tmp_path / "b"]
+        for out_dir in dirs:
+            args = self.ROUTE_ARGS + ["--seed", "3", "--output-dir", str(out_dir), "--quiet"]
+            assert cli.main(args) == 0
+        payloads = [artifacts.load_result_json(d / "route.json") for d in dirs]
+        assert _strip_wall_clock(payloads[0]) == _strip_wall_clock(payloads[1])
+        step_logs = [(d / "route_steps.csv").read_text() for d in dirs]
+        assert step_logs[0] == step_logs[1]
+
+    def test_no_batching_pins_batch_size_to_one(self, tmp_path):
+        out_dir = tmp_path / "route"
+        args = self.ROUTE_ARGS + ["--no-batching", "--output-dir", str(out_dir), "--quiet"]
+        assert cli.main(args) == 0
+        assert artifacts.load_manifest(out_dir)["config"]["batching"] is False
+        steps = artifacts.load_result_json(out_dir / "route_steps.json")
+        assert {row["batch_size"] for row in steps["rows"]} == {1}
+
+    def test_arrival_process_round_trips_into_the_manifest(self, tmp_path):
+        out_dir = tmp_path / "route"
+        args = self.ROUTE_ARGS + [
+            "--arrival-process",
+            "paced",
+            "--output-dir",
+            str(out_dir),
+            "--quiet",
+        ]
+        assert cli.main(args) == 0
+        assert artifacts.load_manifest(out_dir)["config"]["arrival_process"] == "paced"
+
+    def test_frontend_knob_defaults_come_from_the_dataclass(self):
+        from repro.serving.frontend import StreamingFrontend
+
+        args = cli.build_parser().parse_args(["route"])
+        assert args.mode == "per-step"
+        assert args.max_batch == StreamingFrontend.max_batch
+        assert args.defer_windows == StreamingFrontend.defer_windows
+        assert args.arrival_process == StreamingFrontend.arrival_process
+        assert args.window_seconds is None

@@ -22,6 +22,7 @@ class TestRunner:
             "fig14",
             "sweepmp",  # cross-platform sweep (Figures 8-10 comparison)
             "router",  # online multi-path serving router (MP-Rec-style)
+            "frontend",  # per-query streaming frontend (admission + batching)
             "bench-sim",  # simulator engine benchmark (event vs analytic)
         }
         assert set(runner.EXPERIMENTS) == expected

@@ -25,6 +25,7 @@ ALL_IDS = [
     "fig14",
     "sweepmp",
     "router",
+    "frontend",
     "bench-sim",
 ]
 
@@ -51,7 +52,7 @@ class TestDefaultRegistry:
     def test_covers_every_paper_artifact(self):
         registry = default_registry()
         assert registry.ids() == ALL_IDS
-        assert len(registry) == 14
+        assert len(registry) == 15
 
     def test_every_spec_has_metadata(self):
         for spec in default_registry():

@@ -3,64 +3,27 @@
 import numpy as np
 import pytest
 
-from repro.core.pipeline import PipelineConfig, Stage, enumerate_pipelines
-from repro.core.scheduler import RecPipeScheduler
 from repro.core.sweep import SweepConfig, run_sweep
-from repro.data import CriteoConfig, CriteoSynthetic
 from repro.models.zoo import RM_LARGE, RM_SMALL, criteo_model_specs
-from repro.quality import QualityEvaluator
-from repro.serving.resources import PipelinePlan, StageResource
 from repro.serving.router import (
     MultiPathRouter,
     PathTable,
-    ServingPath,
     route_oracle,
     route_static,
 )
 from repro.serving.simulator import SimulationConfig
 from repro.serving.trace import LoadTrace, spike_trace
 
-
-# --------------------------------------------------------------------------- #
-# Synthetic two-path table: a high-quality path that saturates at ~3.1k QPS
-# and a fast lower-quality path with ample headroom.
-# --------------------------------------------------------------------------- #
-def make_path(platform: str, model, service_ms: float, servers: int, quality: float):
-    pipeline = PipelineConfig((Stage(model, 128),), serve_k=64)
-    plan = PipelinePlan(
-        platform=platform,
-        stages=[
-            StageResource(
-                name=f"{platform}:stage",
-                num_servers=servers,
-                service_seconds=service_ms * 1e-3,
-            )
-        ],
-    )
-    return ServingPath(platform=platform, pipeline=pipeline, plan=plan, quality=quality)
-
-
-GRID = (100.0, 1000.0, 2000.0, 3000.0, 5000.0)
-HQ_ROW = (0.010, 0.0102, 0.0105, 0.011, float("inf"))
-FAST_ROW = (0.002, 0.002, 0.002, 0.002, 0.002)
-
-
-def make_table(quality_target=None, sla_ms=25.0, **kwargs) -> PathTable:
-    hq = make_path("cpu", RM_LARGE, service_ms=10.0, servers=32, quality=98.0)
-    fast = make_path("cpu", RM_SMALL, service_ms=2.0, servers=32, quality=95.0)
-    return PathTable(
-        paths=[hq, fast],
-        qps_grid=GRID,
-        p99_grid=np.array([HQ_ROW, FAST_ROW]),
-        sla_seconds=sla_ms / 1e3,
-        quality_target=quality_target,
-        simulation=SimulationConfig(num_queries=600, warmup_queries=60),
-        **kwargs,
-    )
-
-
-def flat_trace(qps: float, num_steps: int = 20, step_seconds: float = 10.0) -> LoadTrace:
-    return LoadTrace("flat", step_seconds, np.full(num_steps, float(qps)))
+# The synthetic two-path table lives in tests/conftest.py; re-exported here
+# so `from tests.test_router import make_table` keeps working.
+from tests.conftest import (  # noqa: F401  (re-export)
+    FAST_ROW,
+    GRID,
+    HQ_ROW,
+    flat_trace,
+    make_path,
+    make_table,
+)
 
 
 class TestPathTableValidation:
@@ -218,24 +181,56 @@ class TestFeasibleFrontier:
             assert np.all((values > 0) | np.isinf(values))
 
 
-@pytest.fixture(scope="module")
-def compiled_table() -> PathTable:
-    """A small real compiled table whose top path saturates inside the grid."""
-    queries = CriteoSynthetic(CriteoConfig(table_size=400)).sample_ranking_queries(
-        3, candidates_per_query=512
-    )
-    evaluator = QualityEvaluator(queries)
-    scheduler = RecPipeScheduler(evaluator, simulation=SimulationConfig.with_budget(300, seed=0))
-    pipelines = enumerate_pipelines(
-        criteo_model_specs(),
-        first_stage_items=(512,),
-        later_stage_items=(128,),
-        max_stages=2,
-        serve_k=64,
-    )
-    return PathTable.compile(
-        scheduler, pipelines, ("cpu",), (250.0, 1000.0, 4000.0, 8000.0), sla_ms=25.0, seed=0
-    )
+class TestGridKnotRegression:
+    """`p99_at` exactly at grid knots and at `max_feasible_qps` boundaries.
+
+    Interpolation must not perturb the compiled measurements: a lookup at
+    a grid knot returns the grid cell bit-for-bit, and the feasibility
+    boundary is closed on the left — finite at `max_feasible_qps`, inf for
+    any load strictly beyond it.
+    """
+
+    def test_finite_knots_reproduce_grid_cells_exactly(self):
+        table = make_table()
+        for qps, expected in zip(GRID, FAST_ROW):
+            assert table.p99_at(1, float(qps)) == expected
+        for qps, expected in zip(GRID[:-1], HQ_ROW[:-1]):  # finite prefix
+            assert table.p99_at(0, float(qps)) == expected
+
+    def test_saturated_knot_is_infinite(self):
+        table = make_table()
+        assert table.p99_at(0, float(GRID[-1])) == float("inf")
+
+    def test_boundary_is_closed_at_max_feasible_qps(self):
+        table = make_table()
+        cap = table.max_feasible_qps(0)
+        assert cap == GRID[3]
+        assert table.p99_at(0, cap) == HQ_ROW[3]
+        assert table.p99_at(0, float(np.nextafter(cap, np.inf))) == float("inf")
+
+    def test_never_saturating_path_is_feasible_through_the_last_knot(self):
+        table = make_table()
+        cap = table.max_feasible_qps(1)
+        assert cap == GRID[-1]
+        assert table.p99_at(1, cap) == FAST_ROW[-1]
+        # Beyond the measured grid the table stays conservative.
+        assert table.p99_at(1, float(np.nextafter(cap, np.inf))) == float("inf")
+
+    def test_compiled_knots_and_boundaries(self, compiled_table):
+        grid = np.asarray(compiled_table.qps_grid)
+        for index in range(len(compiled_table.paths)):
+            cap = compiled_table.max_feasible_qps(index)
+            if cap == 0.0:  # saturated from the first cell
+                assert compiled_table.p99_at(index, float(grid[0])) == float("inf")
+                continue
+            # Knots on the feasible frontier reproduce the monotonized grid.
+            frontier = np.maximum.accumulate(compiled_table.p99_grid[index])
+            for qps, expected in zip(grid, frontier):
+                if qps > cap:
+                    break
+                assert compiled_table.p99_at(index, float(qps)) == expected
+            assert np.isfinite(compiled_table.p99_at(index, cap))
+            assert compiled_table.p99_at(index, float(np.nextafter(cap, np.inf))) == float("inf")
 
 
 class TestBestPath:
@@ -556,26 +551,9 @@ class TestPolicyOrdering:
 
 
 class TestCompiledTables:
-    @pytest.fixture(scope="class")
-    def workload(self):
-        queries = CriteoSynthetic(CriteoConfig(table_size=400)).sample_ranking_queries(
-            3, candidates_per_query=512
-        )
-        evaluator = QualityEvaluator(queries)
-        simulation = SimulationConfig.with_budget(300, seed=0)
-        scheduler = RecPipeScheduler(evaluator, simulation=simulation)
-        pipelines = enumerate_pipelines(
-            criteo_model_specs(),
-            first_stage_items=(512,),
-            later_stage_items=(128,),
-            max_stages=2,
-            serve_k=64,
-        )
-        return scheduler, pipelines
-
-    def test_compile_matches_sweep_outcome(self, workload):
+    def test_compile_matches_sweep_outcome(self, criteo_workload):
         """`compile` and `from_outcome` derive the same table from one seed."""
-        scheduler, pipelines = workload
+        scheduler, pipelines = criteo_workload
         config = SweepConfig(
             platforms=("cpu", "rpaccel"),
             qps=(250.0, 1000.0, 4000.0),
@@ -599,8 +577,8 @@ class TestCompiledTables:
         np.testing.assert_allclose(compiled.p99_grid, derived.p99_grid)
         assert compiled.sla_seconds == derived.sla_seconds
 
-    def test_compiled_table_routes_by_load_regime(self, workload):
-        scheduler, pipelines = workload
+    def test_compiled_table_routes_by_load_regime(self, criteo_workload):
+        scheduler, pipelines = criteo_workload
         table = PathTable.compile(
             scheduler,
             pipelines,
