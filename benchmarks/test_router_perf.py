@@ -18,16 +18,14 @@ Three parts, mirroring the router and frontend ISSUEs' acceptance criteria:
 
 Both perf halves record their numbers to ``BENCH_router.json`` (override
 the destination with ``RECPIPE_BENCH_ROUTER_PATH``), each under its own
-section via a read-modify-write so the tests never clobber one another,
-and future PRs can regress against the trajectory.
+section via the shared :mod:`_bench_io` merge helper so the tests never
+clobber one another, and future PRs can regress against the trajectory.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 import numpy as np
+from _bench_io import ROUTER_BENCH, record_bench
 from conftest import report
 
 from repro.experiments import frontend_online, router_online
@@ -35,28 +33,8 @@ from repro.serving.frontend import QueryStream, StreamingFrontend
 from repro.serving.router import MultiPathRouter
 from repro.serving.trace import diurnal_trace
 
-BENCH_PATH = Path("BENCH_router.json")
-
 #: The frontend must route at least this many queries per second.
 MIN_ROUTED_QUERIES_PER_SECOND = 1_000_000.0
-
-
-def bench_path() -> Path:
-    return Path(os.environ.get("RECPIPE_BENCH_ROUTER_PATH", BENCH_PATH))
-
-
-def record_bench(section: str, payload: dict) -> Path:
-    """Merge one section into the bench file (read-modify-write)."""
-    path = bench_path()
-    try:
-        existing = json.loads(path.read_text())
-    except (FileNotFoundError, json.JSONDecodeError):
-        existing = {}
-    if "benchmark" in existing:  # legacy flat payload: nest it under its name
-        existing = {existing.pop("benchmark"): existing}
-    existing[section] = payload
-    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
-    return path
 
 
 def test_router_experiment_claims(benchmark):
@@ -150,7 +128,7 @@ def test_routing_decision_overhead():
         "num_switches": baseline["num_switches"],
         "estimators": per_estimator,
     }
-    path = record_bench("router_overhead", payload)
+    path = record_bench(ROUTER_BENCH, "router_overhead", payload)
     summary = ", ".join(
         f"{name} {stats['microseconds_per_decision']:.1f} us"
         for name, stats in per_estimator.items()
@@ -218,7 +196,7 @@ def test_frontend_routed_query_throughput():
         "mean_batch_size": plan.mean_batch_size,
         "num_switches": plan.num_switches,
     }
-    path = record_bench("frontend_throughput", payload)
+    path = record_bench(ROUTER_BENCH, "frontend_throughput", payload)
     print(
         f"\nfrontend throughput: {routed_per_second:,.0f} routed queries/s "
         f"({stream.num_queries:,} queries in {best * 1e3:.1f} ms) -> {path}"

@@ -7,6 +7,7 @@ Subcommands::
     recpipe sweep --platform cpu --qps 250,500 --sla-ms 25 [--output-dir D]
     recpipe route --trace spike --sla-ms 25 [--output-dir D]
     recpipe route --mode per-query --trace spike [--output-dir D]
+    recpipe capacity --platforms cpu,rpaccel --max-nodes 4 [--output-dir D]
     recpipe report --output-dir D     # re-render the tables of a previous run
 
 ``run`` executes registered experiment harnesses (process-parallel with
@@ -16,7 +17,10 @@ paper's presets; ``route`` compiles a :class:`~repro.serving.router.PathTable`
 and replays time-varying load traces under static / oracle / online path
 selection (:mod:`repro.serving.router`) — or, with ``--mode per-query``,
 under the streaming frontend's per-query admission control and dynamic
-batching (:mod:`repro.serving.frontend`).  With ``--output-dir`` all of them
+batching (:mod:`repro.serving.frontend`); ``capacity`` sweeps every
+(node count × platform mix) fleet of the cluster layer
+(:mod:`repro.cluster`) and emits the cost/QPS frontier of the mixes that
+serve a diurnal trace within the p99 SLA.  With ``--output-dir`` all of them
 write per-experiment JSON + CSV artifacts and a ``manifest.json`` (config,
 seed, wall-clock per experiment), which ``report`` reads back.  ``list
 --format markdown`` emits the registry table embedded in
@@ -53,6 +57,7 @@ SWEEP_DATASETS = ("criteo", "movielens-1m", "movielens-20m")
 def build_parser() -> argparse.ArgumentParser:
     # Policy knob defaults are read from the router/frontend dataclasses so
     # the CLI, the registry experiments and the library cannot drift apart.
+    from repro.experiments import capacity_planning
     from repro.serving.estimators import EWMA, ESTIMATORS
     from repro.serving.frontend import ARRIVAL_PROCESSES, StreamingFrontend
     from repro.serving.router import MultiPathRouter
@@ -325,6 +330,101 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", default="", help="write JSON/CSV artifacts and a manifest here"
     )
     route_parser.add_argument("--quiet", action="store_true", help="suppress the plain-text table")
+
+    capacity_parser = sub.add_parser(
+        "capacity",
+        help="capacity-planning sweep over (node count x platform mix) fleets",
+    )
+    capacity_parser.add_argument(
+        "--platforms",
+        default=",".join(capacity_planning.PLATFORMS),
+        help="comma-separated platforms a node may run",
+    )
+    capacity_parser.add_argument(
+        "--max-nodes",
+        type=int,
+        default=capacity_planning.MAX_NODES,
+        help="largest platform multiset the planner considers",
+    )
+    capacity_parser.add_argument(
+        "--users",
+        type=int,
+        default=capacity_planning.USERS,
+        help="served user base (peak load derives from it unless --peak-qps is set)",
+    )
+    capacity_parser.add_argument(
+        "--peak-qps", type=float, default=None, help="diurnal peak load override"
+    )
+    capacity_parser.add_argument(
+        "--base-qps", type=float, default=None, help="diurnal trough load override"
+    )
+    capacity_parser.add_argument(
+        "--steps",
+        type=int,
+        default=capacity_planning.TRACE_STEPS,
+        help="number of diurnal trace steps",
+    )
+    capacity_parser.add_argument(
+        "--step-seconds",
+        type=float,
+        default=capacity_planning.STEP_SECONDS,
+        help="width of one trace step",
+    )
+    capacity_parser.add_argument(
+        "--noise",
+        type=float,
+        default=capacity_planning.TRACE_NOISE,
+        help="relative per-step load noise",
+    )
+    capacity_parser.add_argument(
+        "--sla-ms",
+        type=float,
+        default=capacity_planning.SLA_MS,
+        help="tail-latency SLA in milliseconds",
+    )
+    capacity_parser.add_argument(
+        "--strategy",
+        default="tablewise",
+        choices=("tablewise", "rowwise"),
+        help="embedding sharding strategy (greedy bin-packing or row-wise hash)",
+    )
+    capacity_parser.add_argument(
+        "--embedding-scale",
+        type=float,
+        default=capacity_planning.EMBEDDING_SCALE,
+        help="embedding-tier scale-up over RMlarge's reference storage",
+    )
+    capacity_parser.add_argument(
+        "--budget-gb",
+        type=float,
+        default=capacity_planning.BUDGET_GB,
+        help="per-node embedding memory budget in GiB",
+    )
+    capacity_parser.add_argument(
+        "--num-tables",
+        type=int,
+        default=capacity_planning.NUM_TABLES,
+        help="logical embedding tables to shard",
+    )
+    capacity_parser.add_argument(
+        "--num-queries",
+        type=int,
+        default=capacity_planning.NUM_QUERIES,
+        help="simulated queries per dwell cell",
+    )
+    capacity_parser.add_argument(
+        "--pool",
+        type=int,
+        default=capacity_planning.POOL,
+        help="candidates per ranking query",
+    )
+    capacity_parser.add_argument("--seed", type=int, default=0, help="simulation + trace seed")
+    capacity_parser.add_argument(
+        "--output-dir", default="", help="write JSON/CSV artifacts and a manifest here"
+    )
+    capacity_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the plain-text tables"
+    )
 
     report_parser = sub.add_parser(
         "report", help="re-render the tables of a previous --output-dir run"
@@ -804,6 +904,86 @@ def cmd_route(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# recpipe capacity
+# --------------------------------------------------------------------------- #
+def cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.experiments.capacity_planning import CapacityConfig, run_capacity
+
+    platforms = _parse_csv(args.platforms)
+    if not platforms:
+        raise ValueError("--platforms needs at least one platform")
+    config = CapacityConfig(
+        platforms=tuple(platforms),
+        max_nodes=args.max_nodes,
+        users=args.users,
+        peak_qps=args.peak_qps,
+        base_qps=args.base_qps,
+        steps=args.steps,
+        step_seconds=args.step_seconds,
+        noise=args.noise,
+        sla_ms=args.sla_ms,
+        strategy=args.strategy,
+        embedding_scale=args.embedding_scale,
+        num_tables=args.num_tables,
+        budget_gb=args.budget_gb,
+        num_queries=args.num_queries,
+        pool=args.pool,
+        seed=args.seed,
+    )
+    start = time.perf_counter()
+    result, frontier = run_capacity(config)
+    elapsed = time.perf_counter() - start
+
+    if not args.quiet:
+        print(result.format_table())
+        print()
+        print(frontier.format_table())
+    if args.output_dir:
+        meta = {
+            "id": "capacity",
+            "title": f"Fleet capacity planning ({','.join(platforms)}, <= {args.max_nodes} nodes)",
+            "paper_ref": "Fleet-scale extension (scale-in / MicroRec)",
+            "tags": ["cluster", "capacity", *platforms],
+            "module": "repro.experiments.capacity_planning",
+        }
+        cli_config = {
+            "platforms": list(platforms),
+            "max_nodes": args.max_nodes,
+            "users": args.users,
+            "peak_qps": config.resolved_peak_qps,
+            "base_qps": config.resolved_base_qps,
+            "steps": args.steps,
+            "step_seconds": args.step_seconds,
+            "noise": args.noise,
+            "sla_ms": args.sla_ms,
+            "strategy": args.strategy,
+            "embedding_scale": args.embedding_scale,
+            "budget_gb": args.budget_gb,
+            "num_tables": args.num_tables,
+            "num_queries": args.num_queries,
+            "pool": args.pool,
+        }
+        entries = [
+            artifacts.write_experiment_artifacts(
+                Path(args.output_dir), meta, result, seed=args.seed, wall_clock_seconds=elapsed
+            )
+        ]
+        frontier_meta = dict(meta)
+        frontier_meta["id"] = "capacity_frontier"
+        frontier_meta["title"] = f"{meta['title']} — cost/QPS frontier"
+        entries.append(
+            artifacts.write_experiment_artifacts(
+                Path(args.output_dir), frontier_meta, frontier, seed=args.seed
+            )
+        )
+        manifest = artifacts.write_manifest(
+            Path(args.output_dir), "capacity", cli_config, entries, seed=args.seed
+        )
+        print(f"wrote {len(entries)} capacity artifact pairs + {manifest}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # recpipe report
 # --------------------------------------------------------------------------- #
 def cmd_report(args: argparse.Namespace) -> int:
@@ -841,6 +1021,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_sweep(args)
         if args.command == "route":
             return cmd_route(args)
+        if args.command == "capacity":
+            return cmd_capacity(args)
         if args.command == "report":
             return cmd_report(args)
     except (UnknownExperimentError, UnknownTagError, ValueError) as error:

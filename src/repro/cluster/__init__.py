@@ -1,0 +1,45 @@
+"""Fleet-scale serving: sharded embedding tables across heterogeneous nodes.
+
+The single-node layers end at one :class:`~repro.serving.router.PathTable`.
+This package scales the same machinery out to a cluster:
+
+* :mod:`repro.cluster.sharding` — partition embedding tables across N
+  nodes under per-node memory budgets (row-wise hash or table-wise greedy
+  bin-packing by size×popularity);
+* :mod:`repro.cluster.topology` — the cross-node gather latency model
+  (per-hop link latency + bandwidth serialization over PCIe-style links,
+  max-over-shards critical path);
+* :mod:`repro.cluster.fleet` — :class:`~repro.cluster.fleet.ClusterTable`,
+  a :class:`~repro.serving.router.PathTable` composed from per-node tables
+  that the router and frontend consume unchanged, plus the area/power-based
+  node pricing the capacity planner optimizes against.
+"""
+
+from repro.cluster.fleet import ClusterTable, NodeSpec, build_cluster_table, node_cost_usd
+from repro.cluster.sharding import (
+    EmbeddingTableSpec,
+    ShardAssignment,
+    ShardingError,
+    ShardingPlan,
+    shard_row_wise,
+    shard_table_wise,
+    tables_from_cost,
+)
+from repro.cluster.topology import InterconnectLink, gather_seconds, gather_seconds_per_node
+
+__all__ = [
+    "ClusterTable",
+    "EmbeddingTableSpec",
+    "InterconnectLink",
+    "NodeSpec",
+    "ShardAssignment",
+    "ShardingError",
+    "ShardingPlan",
+    "build_cluster_table",
+    "gather_seconds",
+    "gather_seconds_per_node",
+    "node_cost_usd",
+    "shard_row_wise",
+    "shard_table_wise",
+    "tables_from_cost",
+]

@@ -128,6 +128,32 @@ def _csv_cell(value) -> str:
     return str(value)
 
 
+def merge_json_section(path: Path, section: str, payload: Mapping) -> Path:
+    """Merge one named section into a JSON document (read-modify-write).
+
+    The benchmark suite appends sections to the ``BENCH_*.json`` trajectory
+    files from independent tests; merging instead of overwriting keeps the
+    writers from clobbering each other.  A missing or unparsable file starts
+    empty, and a legacy flat payload carrying a top-level ``benchmark`` name
+    key is nested under that name before the new section lands, so old
+    trajectory files migrate in place on the first merge.
+    """
+    path = Path(path)
+    try:
+        existing = json.loads(path.read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError):
+        existing = {}
+    if "benchmark" in existing:  # legacy flat payload: nest it under its name
+        existing = {existing.pop("benchmark"): existing}
+    existing[section] = _sanitize(dict(payload))
+    path.write_text(
+        json.dumps(existing, indent=2, sort_keys=True, default=_json_default, allow_nan=False)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
 def write_experiment_artifacts(
     output_dir: Path,
     meta: Mapping,

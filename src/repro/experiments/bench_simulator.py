@@ -13,14 +13,15 @@ Two measurements back the sweep-scale performance claims:
   included).
 
 Both the ``bench-sim`` registry entry and ``benchmarks/test_simulator_perf.py``
-funnel through :func:`measure` and record the payload to
-``BENCH_simulator.json`` (:func:`write_bench`), giving future PRs a perf
+funnel through :func:`measure` and record the payload to the
+``simulator_engines`` section of ``BENCH_simulator.json`` (:func:`write_bench`,
+a :func:`~repro.experiments.artifacts.merge_json_section` read-modify-write
+shared with the other ``BENCH_*.json`` writers), giving future PRs a perf
 trajectory to regress against.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import platform as platform_module
 import time
@@ -31,6 +32,7 @@ import numpy as np
 
 from repro.core.sweep import PLATFORMS, SweepConfig, run_sweep
 from repro.data import CriteoConfig, CriteoSynthetic
+from repro.experiments.artifacts import merge_json_section
 from repro.experiments.common import ExperimentResult
 from repro.models.zoo import criteo_model_specs
 from repro.quality import QualityEvaluator
@@ -45,6 +47,9 @@ TAGS = ("bench", "serving", "perf")
 #: Where the perf trajectory lands (CI uploads this as an artifact); override
 #: with the ``RECPIPE_BENCH_PATH`` environment variable.
 BENCH_PATH = Path("BENCH_simulator.json")
+
+#: Section of the trajectory file this benchmark owns.
+BENCH_SECTION = "simulator_engines"
 
 
 def bench_path() -> Path:
@@ -163,7 +168,6 @@ def measure_sweep(num_queries: int = 4000, seed: int = 0) -> dict:
 def measure(num_queries: int = 4000, repeats: int = 3, seed: int = 0) -> dict:
     """The full benchmark payload recorded to :data:`BENCH_PATH`."""
     return {
-        "benchmark": "simulator_engines",
         "python": platform_module.python_version(),
         "numpy": np.__version__,
         "repeats": repeats,
@@ -173,9 +177,8 @@ def measure(num_queries: int = 4000, repeats: int = 3, seed: int = 0) -> dict:
 
 
 def write_bench(payload: dict, path: Path | None = None) -> Path:
-    path = bench_path() if path is None else Path(path)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
+    """Merge the payload into the trajectory file under :data:`BENCH_SECTION`."""
+    return merge_json_section(bench_path() if path is None else Path(path), BENCH_SECTION, payload)
 
 
 def run(seed: int = 0) -> ExperimentResult:

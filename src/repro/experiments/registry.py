@@ -18,6 +18,7 @@ from typing import Callable, Iterator, Sequence
 
 from repro.experiments import (
     bench_simulator,
+    capacity_planning,
     fig01_motivation,
     fig03_quality,
     fig05_ablation,
@@ -227,6 +228,7 @@ def _build_default_registry() -> ExperimentRegistry:
         ("router", router_online),
         ("frontend", frontend_online),
         ("bench-sim", bench_simulator),
+        ("capacity", capacity_planning),
     ):
         registry.register(_spec_from_module(exp_id, module))
     return registry
@@ -239,5 +241,6 @@ REGISTRY = _build_default_registry()
 def default_registry() -> ExperimentRegistry:
     """The process-wide registry: the paper's eleven experiments, the
     cross-platform sweep, the online serving router, the per-query
-    frontend, and the simulator engine benchmark."""
+    frontend, the simulator engine benchmark, and the fleet capacity
+    planner."""
     return REGISTRY

@@ -307,6 +307,38 @@ class TestArtifactHelpers:
         assert manifest["experiments"][0]["wall_clock_seconds"] == 1.5
 
 
+class TestMergeJsonSection:
+    """The shared BENCH_*.json writer: sections merge, never clobber."""
+
+    def test_sections_accumulate_without_clobbering(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        artifacts.merge_json_section(path, "a", {"x": 1})
+        artifacts.merge_json_section(path, "b", {"y": 2})
+        artifacts.merge_json_section(path, "a", {"x": 3})
+        assert json.loads(path.read_text()) == {"a": {"x": 3}, "b": {"y": 2}}
+        assert path.read_text().endswith("\n")
+
+    def test_legacy_flat_payload_migrates_in_place(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({"benchmark": "old_section", "value": 3}))
+        artifacts.merge_json_section(path, "new_section", {"x": 1})
+        assert json.loads(path.read_text()) == {
+            "old_section": {"value": 3},
+            "new_section": {"x": 1},
+        }
+
+    def test_unparsable_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text("{not json")
+        artifacts.merge_json_section(path, "a", {"x": 1})
+        assert json.loads(path.read_text()) == {"a": {"x": 1}}
+
+    def test_non_finite_floats_sanitized(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        artifacts.merge_json_section(path, "a", {"bad": float("inf"), "ok": 1.5})
+        assert json.loads(path.read_text()) == {"a": {"bad": None, "ok": 1.5}}
+
+
 class TestListMarkdown:
     def test_markdown_table_lists_every_experiment(self, capsys):
         assert cli.main(["list", "--format", "markdown"]) == 0

@@ -1,0 +1,310 @@
+"""Tests for the fleet layer (repro.cluster): sharding, topology, composition.
+
+Three suites:
+
+* **sharding invariants** (hypothesis) — every table row is assigned
+  exactly once by both strategies, per-node memory budgets are respected
+  or the placement raises :class:`ShardingError`, and the row-wise gather
+  critical path is monotone in shard count;
+* **topology units** — the link/gather arithmetic on hand-checkable
+  numbers;
+* **cluster composition** — a two-replica :class:`ClusterTable` over the
+  synthetic conftest table doubles capacity, pays the gather tax on every
+  p99 cell, and routes through the unchanged single-node policies.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterTable,
+    EmbeddingTableSpec,
+    InterconnectLink,
+    NodeSpec,
+    ShardAssignment,
+    ShardingError,
+    ShardingPlan,
+    build_cluster_table,
+    gather_seconds,
+    gather_seconds_per_node,
+    node_cost_usd,
+    shard_row_wise,
+    shard_table_wise,
+    tables_from_cost,
+)
+from repro.cluster.fleet import HOST_BASE_COST_USD, mix_label
+from repro.models.zoo import RM_LARGE
+from repro.serving.router import route_oracle, route_static
+from tests.conftest import flat_trace, make_table
+
+# --------------------------------------------------------------------------- #
+# Hypothesis strategies
+# --------------------------------------------------------------------------- #
+table_sets = st.lists(
+    st.builds(
+        EmbeddingTableSpec,
+        name=st.just("t"),
+        num_rows=st.integers(min_value=1, max_value=400),
+        dim=st.integers(min_value=1, max_value=16),
+        lookups_per_query=st.floats(
+            min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False
+        ),
+    ),
+    min_size=1,
+    max_size=6,
+).map(
+    lambda tables: [
+        EmbeddingTableSpec(f"t{i}", t.num_rows, t.dim, t.lookups_per_query)
+        for i, t in enumerate(tables)
+    ]
+)
+
+
+def assert_rows_covered_exactly_once(plan: ShardingPlan) -> None:
+    """Re-derive the exactly-once invariant independently of the validator."""
+    for index, table in enumerate(plan.tables):
+        covered = np.zeros(table.num_rows, dtype=np.int64)
+        for shard in plan.assignments:
+            if shard.table_index == index:
+                covered[shard.row_start : shard.row_end] += 1
+        assert np.array_equal(covered, np.ones(table.num_rows, dtype=np.int64))
+
+
+class TestShardingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(tables=table_sets, num_nodes=st.integers(min_value=1, max_value=5))
+    def test_row_wise_assigns_every_row_exactly_once(self, tables, num_nodes):
+        total = sum(t.total_bytes for t in tables)
+        plan = shard_row_wise(tables, [total + 1] * num_nodes)
+        assert plan.strategy == "rowwise"
+        assert_rows_covered_exactly_once(plan)
+        assert plan.node_bytes().sum() == pytest.approx(plan.total_bytes())
+
+    @settings(max_examples=60, deadline=None)
+    @given(tables=table_sets, num_nodes=st.integers(min_value=1, max_value=5))
+    def test_table_wise_assigns_every_row_exactly_once(self, tables, num_nodes):
+        total = sum(t.total_bytes for t in tables)
+        plan = shard_table_wise(tables, [total + 1] * num_nodes)
+        assert plan.strategy == "tablewise"
+        assert_rows_covered_exactly_once(plan)
+        # Table-wise placement never splits a table.
+        assert len(plan.assignments) == len(tables)
+        for shard in plan.assignments:
+            assert shard.row_start == 0
+            assert shard.row_end == plan.tables[shard.table_index].num_rows
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        tables=table_sets,
+        num_nodes=st.integers(min_value=1, max_value=5),
+        budget_fraction=st.floats(min_value=0.05, max_value=1.5),
+        strategy=st.sampled_from([shard_row_wise, shard_table_wise]),
+    )
+    def test_budgets_respected_or_sharding_error(
+        self, tables, num_nodes, budget_fraction, strategy
+    ):
+        total = sum(t.total_bytes for t in tables)
+        budget = max(int(total * budget_fraction / num_nodes), 1)
+        try:
+            plan = strategy(tables, [budget] * num_nodes)
+        except ShardingError:
+            return
+        assert np.all(plan.node_bytes() <= budget)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tables=table_sets)
+    def test_row_wise_gather_monotone_in_shard_count(self, tables):
+        """Spreading the same rows over more nodes never shortens the gather."""
+        total = sum(t.total_bytes for t in tables)
+        link = InterconnectLink()
+        previous = 0.0
+        for num_nodes in (1, 2, 3, 4, 5):
+            plan = shard_row_wise(tables, [total + 1] * num_nodes)
+            worst = float(gather_seconds_per_node(plan, link).max())
+            assert worst >= previous - 1e-15
+            previous = worst
+
+
+class TestShardingPlanValidation:
+    def _table(self, rows=10):
+        return EmbeddingTableSpec("t0", rows, 4, 1.0)
+
+    def test_gap_in_coverage_rejected(self):
+        with pytest.raises(ShardingError, match="unassigned"):
+            ShardingPlan(
+                tables=(self._table(),),
+                num_nodes=1,
+                node_budgets=(10_000,),
+                strategy="rowwise",
+                assignments=(ShardAssignment(0, 0, 0, 5),),
+            )
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ShardingError):
+            ShardingPlan(
+                tables=(self._table(),),
+                num_nodes=1,
+                node_budgets=(10_000,),
+                strategy="rowwise",
+                assignments=(ShardAssignment(0, 0, 0, 7), ShardAssignment(0, 0, 5, 10)),
+            )
+
+    def test_over_budget_rejected(self):
+        with pytest.raises(ShardingError, match="over budget"):
+            ShardingPlan(
+                tables=(self._table(),),
+                num_nodes=1,
+                node_budgets=(8,),
+                strategy="rowwise",
+                assignments=(ShardAssignment(0, 0, 0, 10),),
+            )
+
+    def test_table_too_big_for_any_node_raises(self):
+        big = EmbeddingTableSpec("big", 1000, 16, 5.0)
+        with pytest.raises(ShardingError, match="fits no node"):
+            shard_table_wise([big], [big.total_bytes // 2] * 4)
+
+    def test_tables_from_cost_matches_reference_storage(self):
+        cost = RM_LARGE.reference_cost(26)
+        tables = tables_from_cost(cost, 26, items_per_query=128)
+        assert len(tables) == 26
+        total = sum(t.total_bytes for t in tables)
+        assert total == pytest.approx(cost.reference_storage_bytes, rel=0.01)
+        assert all(t.lookups_per_query > 0 for t in tables)
+
+
+class TestTopology:
+    def test_transfer_seconds_arithmetic(self):
+        link = InterconnectLink(
+            bandwidth_bytes_per_s=1e9, latency_s=10e-6, hops=2, message_overhead_s=0.0
+        )
+        assert link.transfer_seconds(0) == 0.0
+        assert link.transfer_seconds(1000) == pytest.approx(2 * 10e-6 + 1000 / 1e9)
+
+    def test_gather_seconds_arithmetic(self):
+        link = InterconnectLink(
+            bandwidth_bytes_per_s=1e9, latency_s=10e-6, hops=1, message_overhead_s=2e-6
+        )
+        # Two positive peers: one hop latency + two message overheads +
+        # the summed payload serialized at bandwidth.
+        expected = 10e-6 + 2 * 2e-6 + 2000 / 1e9
+        assert gather_seconds(link, [1000.0, 0.0, 1000.0]) == pytest.approx(expected)
+        assert gather_seconds(link, [0.0, 0.0]) == 0.0
+
+    def test_single_node_plan_gathers_for_free(self):
+        tables = [EmbeddingTableSpec("t0", 100, 4, 2.0)]
+        plan = shard_row_wise(tables, [10_000])
+        gather = gather_seconds_per_node(plan, InterconnectLink())
+        assert gather.shape == (1,)
+        assert gather[0] == 0.0
+
+    def test_invalid_link_rejected(self):
+        with pytest.raises(ValueError):
+            InterconnectLink(bandwidth_bytes_per_s=0.0)
+        with pytest.raises(ValueError):
+            InterconnectLink(hops=0)
+
+
+class TestFleetCost:
+    def test_cpu_node_cost_is_fixed_die_plus_host(self):
+        # 450 mm^2 * $20 + 250 W * $60 + $3000 host.
+        assert node_cost_usd("cpu") == pytest.approx(27_000.0)
+
+    def test_accelerator_cheaper_than_cpu(self):
+        assert node_cost_usd("rpaccel") < node_cost_usd("cpu")
+        assert node_cost_usd("baseline-accel") > HOST_BASE_COST_USD
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError, match="no cost model"):
+            node_cost_usd("tpu")
+
+    def test_mix_label_sorted_counts(self):
+        nodes = [
+            NodeSpec("n0", "rpaccel", 1),
+            NodeSpec("n1", "cpu", 1),
+            NodeSpec("n2", "rpaccel", 1),
+        ]
+        assert mix_label(nodes) == "1xcpu+2xrpaccel"
+
+
+class TestClusterTable:
+    @pytest.fixture()
+    def fleet(self):
+        """Two cpu replicas of the synthetic table behind a sharded tier."""
+        single = make_table()
+        tables = [EmbeddingTableSpec(f"t{i}", 1000, 8, 4.0) for i in range(4)]
+        budget = sum(t.total_bytes for t in tables)
+        nodes = (
+            NodeSpec("n0", "cpu", budget),
+            NodeSpec("n1", "cpu", budget),
+        )
+        plan = shard_row_wise(tables, [budget] * 2)
+        link = InterconnectLink()
+        cluster = build_cluster_table(
+            nodes, {"cpu": single}, (200.0, 2000.0, 4000.0, 6000.0), plan, link
+        )
+        return single, cluster, plan, link
+
+    def test_capacity_is_summed_across_replicas(self, fleet):
+        single, cluster, _, _ = fleet
+        for k, path in enumerate(cluster.paths):
+            assert path.capacity_qps == pytest.approx(2 * single.paths[k].capacity_qps)
+        assert cluster.num_nodes == 2
+        assert cluster.total_cost_usd() == pytest.approx(2 * node_cost_usd("cpu"))
+
+    def test_p99_cell_is_split_load_plus_gather(self, fleet):
+        single, cluster, plan, link = fleet
+        gather = gather_seconds_per_node(plan, link)
+        for k in range(len(cluster.paths)):
+            for column, q in enumerate(cluster.qps_grid):
+                expected = max(
+                    single.p99_at(k, q / 2) + gather[i] for i in range(2)
+                )
+                assert cluster.p99_grid[k, column] == pytest.approx(expected)
+
+    def test_sharded_p99_never_beats_the_single_node(self, fleet):
+        single, cluster, _, _ = fleet
+        # At equal per-node load the cluster pays the single node's p99 plus
+        # a non-negative gather, so it can never undercut it.
+        for k in range(len(cluster.paths)):
+            for q in cluster.qps_grid:
+                assert cluster.p99_at(k, q) >= single.p99_at(k, q / 2) - 1e-15
+
+    def test_router_policies_consume_the_cluster_unchanged(self, fleet):
+        _, cluster, _, _ = fleet
+        trace = flat_trace(4000.0, num_steps=6)
+        static = route_static(cluster, trace, planning_qps=4000.0)
+        oracle = route_oracle(cluster, trace)
+        assert oracle.violation_rate <= static.violation_rate + 1e-12
+        assert 0.0 <= static.violation_rate <= 1.0
+
+    def test_mismatched_plan_size_rejected(self, fleet):
+        single, _, plan, link = fleet
+        nodes = (NodeSpec("n0", "cpu", 10**9),)
+        with pytest.raises(ValueError, match="sharding plan"):
+            build_cluster_table(nodes, {"cpu": single}, (200.0,), plan, link)
+
+    def test_missing_platform_table_rejected(self, fleet):
+        single, _, _, link = fleet
+        tables = [EmbeddingTableSpec("t0", 100, 4, 1.0)]
+        plan = shard_row_wise(tables, [10**9])
+        nodes = (NodeSpec("n0", "rpaccel", 10**9),)
+        with pytest.raises(ValueError, match="no compiled table"):
+            build_cluster_table(nodes, {"cpu": single}, (200.0,), plan, link)
+
+    def test_weights_validation(self, fleet):
+        single, cluster, _, _ = fleet
+        with pytest.raises(ValueError, match="sum to 1"):
+            ClusterTable(
+                paths=cluster.paths,
+                qps_grid=cluster.qps_grid,
+                p99_grid=cluster.p99_grid,
+                sla_seconds=cluster.sla_seconds,
+                simulation=cluster.simulation,
+                nodes=cluster.nodes,
+                node_tables=cluster.node_tables,
+                node_weights=np.full((len(cluster.paths), 2), 0.6),
+                node_gather=cluster.node_gather,
+            )

@@ -24,6 +24,7 @@ class TestRunner:
             "router",  # online multi-path serving router (MP-Rec-style)
             "frontend",  # per-query streaming frontend (admission + batching)
             "bench-sim",  # simulator engine benchmark (event vs analytic)
+            "capacity",  # fleet capacity planning (cluster layer)
         }
         assert set(runner.EXPERIMENTS) == expected
 

@@ -27,6 +27,7 @@ ALL_IDS = [
     "router",
     "frontend",
     "bench-sim",
+    "capacity",
 ]
 
 
@@ -52,7 +53,7 @@ class TestDefaultRegistry:
     def test_covers_every_paper_artifact(self):
         registry = default_registry()
         assert registry.ids() == ALL_IDS
-        assert len(registry) == 15
+        assert len(registry) == 16
 
     def test_every_spec_has_metadata(self):
         for spec in default_registry():
