@@ -5,11 +5,22 @@ the end-to-end ``--platform all`` sweep ratio) to ``BENCH_simulator.json``
 so future PRs can regress against it.  The acceptance floors mirror
 ``ISSUE``: >=10x on the engine kernels, >=5x on the full multi-platform
 sweep, with the engines agreeing to 1e-9.
+
+A second section tracks the stochastic service-time path: the same QPS
+column under the cached service model, recording the sampling overhead over
+the deterministic column and the analytic-vs-event ratio with per-query
+service vectors in play (the per-lane closed form stays exact but loses
+some of its batching advantage to the round-robin dispatch).
 """
 
+from dataclasses import replace
+
+from _bench_io import SIMULATOR_BENCH, record_bench
 from conftest import report
 
 from repro.experiments import bench_simulator
+from repro.serving.service_times import CachedServiceConfig
+from repro.serving.simulator import SimulationConfig
 
 
 def test_simulator_engine_speedup(benchmark):
@@ -29,3 +40,53 @@ def test_simulator_engine_speedup(benchmark):
     # End-to-end `recpipe sweep --platform all`-shaped run: >=5x wall-clock.
     sweep_row = next(row for row in result.rows if row.get("max_p99_abs_diff") is None)
     assert sweep_row["speedup"] >= 5.0
+
+
+def test_stochastic_grid_throughput():
+    """The cached-service grid column: overhead, speedup and divergence."""
+    num_queries, repeats = 4000, 3
+    plan = bench_simulator.reference_plan(3)
+    deterministic_cfg = SimulationConfig.with_budget(num_queries, seed=0)
+    cached_cfg = replace(deterministic_cfg, service=CachedServiceConfig())
+
+    bench_simulator._time_column(plan, deterministic_cfg, 1)  # warm caches
+    deterministic_seconds, _ = bench_simulator._time_column(plan, deterministic_cfg, repeats)
+    analytic_seconds, analytic_reports = bench_simulator._time_column(plan, cached_cfg, repeats)
+    event_seconds, event_reports = bench_simulator._time_column(
+        plan, replace(cached_cfg, engine="event"), repeats
+    )
+
+    divergence = max(
+        abs(e.p99_latency - a.p99_latency)
+        for e, a in zip(event_reports, analytic_reports)
+    )
+    # The engine-oracle guarantee holds at benchmark scale too.
+    assert divergence <= 1e-9
+    speedup = event_seconds / analytic_seconds
+    sampling_overhead = analytic_seconds / deterministic_seconds
+    # With per-query service vectors the closed form runs per lane instead of
+    # one batched column, so the margin narrows — but it must stay a win.
+    assert speedup >= 2.0
+    assert sampling_overhead <= 30.0
+
+    qps_points = len(bench_simulator.QPS_GRID)
+    payload = {
+        "plan": plan.description,
+        "num_queries": num_queries,
+        "qps_points": qps_points,
+        "repeats": repeats,
+        "deterministic_analytic_seconds": deterministic_seconds,
+        "analytic_seconds": analytic_seconds,
+        "event_seconds": event_seconds,
+        "speedup": speedup,
+        "sampling_overhead": sampling_overhead,
+        "analytic_cells_per_second": qps_points / analytic_seconds,
+        "event_cells_per_second": qps_points / event_seconds,
+        "max_p99_abs_diff": divergence,
+    }
+    path = record_bench(SIMULATOR_BENCH, "stochastic_service", payload)
+    print(
+        f"\nstochastic grid: analytic {analytic_seconds * 1e3:.1f} ms vs event "
+        f"{event_seconds * 1e3:.1f} ms ({speedup:.1f}x, sampling overhead "
+        f"{sampling_overhead:.1f}x over deterministic) -> {path}"
+    )

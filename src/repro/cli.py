@@ -7,6 +7,7 @@ Subcommands::
     recpipe sweep --platform cpu --qps 250,500 --sla-ms 25 [--output-dir D]
     recpipe route --trace spike --sla-ms 25 [--output-dir D]
     recpipe route --mode per-query --trace spike [--output-dir D]
+    recpipe route --service-model cached --trace spike [--output-dir D]
     recpipe capacity --platforms cpu,rpaccel --max-nodes 4 [--output-dir D]
     recpipe report --output-dir D     # re-render the tables of a previous run
 
@@ -61,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.serving.estimators import EWMA, ESTIMATORS
     from repro.serving.frontend import ARRIVAL_PROCESSES, StreamingFrontend
     from repro.serving.router import MultiPathRouter
+    from repro.serving.service_times import SERVICE_MODELS
 
     parser = argparse.ArgumentParser(
         prog=PROG,
@@ -284,6 +286,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     route_parser.add_argument(
+        "--service-model",
+        default="deterministic",
+        help=(
+            "per-query service-time model: 'deterministic' (every query "
+            "costs the same) or 'cached' (Zipf-skewed lookups against the "
+            "tiered cache/DRAM/SSD hierarchy); validated against "
+            f"{sorted(SERVICE_MODELS)}"
+        ),
+    )
+    route_parser.add_argument(
         "--mode",
         default="per-step",
         choices=("per-step", "per-query"),
@@ -302,8 +314,11 @@ def build_parser() -> argparse.ArgumentParser:
     route_parser.add_argument(
         "--max-batch",
         type=int,
-        default=StreamingFrontend.max_batch,
-        help="upper clamp on the per-query frontend's dynamic batch size",
+        default=None,
+        help=(
+            "upper clamp on the per-query frontend's dynamic batch size "
+            f"(default {StreamingFrontend.max_batch}; conflicts with --no-batching)"
+        ),
     )
     route_parser.add_argument(
         "--no-batching",
@@ -728,7 +743,27 @@ def cmd_route(args: argparse.Namespace) -> int:
     from repro.experiments.router_online import compare_policies, result_row, violation_note
     from repro.serving.frontend import StreamingFrontend
     from repro.serving.router import MultiPathRouter, PathTable, route_oracle, route_static
+    from repro.serving.service_times import SERVICE_MODELS
     from repro.serving.simulator import SimulationConfig
+
+    # Validate the cheap-to-check knobs before the expensive table compile
+    # so a typo fails in milliseconds, not minutes.
+    if args.service_model not in SERVICE_MODELS:
+        raise ValueError(
+            f"unknown --service-model {args.service_model!r}; "
+            f"expected one of {sorted(SERVICE_MODELS)}"
+        )
+    if args.window_seconds is not None and args.window_seconds <= 0:
+        raise ValueError(f"--window-seconds must be positive, got {args.window_seconds}")
+    if args.no_batching and args.max_batch is not None:
+        raise ValueError(
+            "--no-batching pins every batch to size 1 and conflicts with "
+            "--max-batch; drop one of the two flags"
+        )
+    if args.max_batch is not None and args.max_batch < 1:
+        raise ValueError(f"--max-batch must be >= 1, got {args.max_batch}")
+    max_batch = StreamingFrontend.max_batch if args.max_batch is None else args.max_batch
+    service = SERVICE_MODELS[args.service_model]
 
     # A smaller default pool than sweep's: routing tables pair it with the
     # default 512-item first stage, like the `router` registry experiment.
@@ -748,7 +783,7 @@ def cmd_route(args: argparse.Namespace) -> int:
         )
     scheduler = RecPipeScheduler(
         evaluator,
-        simulation=SimulationConfig.with_budget(args.num_queries, seed=args.seed),
+        simulation=SimulationConfig.with_budget(args.num_queries, seed=args.seed, service=service),
         num_tables=num_tables,
     )
     start = time.perf_counter()
@@ -777,7 +812,7 @@ def cmd_route(args: argparse.Namespace) -> int:
         frontend = StreamingFrontend(
             router,
             window_seconds=args.window_seconds,
-            max_batch=args.max_batch,
+            max_batch=max_batch,
             batching=not args.no_batching,
             defer_windows=args.defer_windows,
             arrival_process=args.arrival_process,
@@ -803,6 +838,7 @@ def cmd_route(args: argparse.Namespace) -> int:
                     admitted=int(schedule.window_admitted[w]),
                     deferred=int(schedule.window_deferred[w]),
                     shed=int(schedule.window_shed[w]),
+                    shed_reason=str(schedule.window_shed_reason[w]),
                     batch_size=int(schedule.window_batch[w]),
                 )
             result.note(
@@ -869,9 +905,10 @@ def cmd_route(args: argparse.Namespace) -> int:
             "planning_qps": args.planning_qps,
             "num_queries": args.num_queries,
             "pool": pool,
+            "service_model": args.service_model,
             "mode": args.mode,
             "window_seconds": args.window_seconds,
-            "max_batch": args.max_batch,
+            "max_batch": max_batch,
             "batching": not args.no_batching,
             "defer_windows": args.defer_windows,
             "arrival_process": args.arrival_process,

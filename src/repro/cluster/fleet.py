@@ -132,15 +132,21 @@ def mix_label(nodes: Sequence[NodeSpec]) -> str:
 def _mixture_counts(weights: np.ndarray, size: int) -> np.ndarray:
     """Largest-remainder split of ``size`` samples across mixture weights.
 
-    Every positive-weight component keeps at least one sample so no node's
-    tail disappears from the pooled distribution.
+    The counts sum to exactly ``size`` (``size`` must be at least the
+    number of positive-weight components), remainder ties break toward the
+    lower index (stable sort), and every positive-weight component keeps at
+    least one sample so no node's tail disappears from the pooled
+    distribution — a starved component's floor sample is taken back from
+    the largest allocation.
     """
     raw = weights * size
     counts = np.floor(raw).astype(np.int64)
-    remainder_order = np.argsort(-(raw - counts))
+    remainder_order = np.argsort(-(raw - counts), kind="stable")
     for k in range(size - int(counts.sum())):
         counts[remainder_order[k % counts.size]] += 1
     counts[(weights > 0) & (counts == 0)] = 1
+    for _ in range(int(counts.sum()) - size):
+        counts[np.argmax(counts)] -= 1
     return counts
 
 
@@ -212,17 +218,27 @@ class ClusterTable(PathTable):
         """Summed lifetime cost of every node."""
         return float(sum(node.cost_usd for node in self.nodes))
 
-    def _fill_segments(self, path_index: int, qps_values: Sequence[float]) -> None:
+    def _fill_segments(self, path_index, qps_values, service=None) -> None:
         """Compose every missing cluster dwell cell from per-node cells.
 
         Per-node simulation goes through each node table's own batched,
         memoized fill, so replicas sharing a platform table also share its
-        Lindley kernel calls.
+        Lindley kernel calls.  Each node simulates under its *own* default
+        service model (the one the fleet was compiled with); per-step
+        service overrides cannot be pushed through the composed mixture, so
+        any override other than the table default is rejected rather than
+        silently ignored.
         """
+        if service is not None and service != self.simulation.service:
+            raise NotImplementedError(
+                "per-step service overrides are not supported on cluster tables; "
+                "compile the fleet with the service model instead"
+            )
+        resolved = self._resolve_service(service)
         missing = [
             q
             for q in dict.fromkeys(float(q) for q in qps_values)
-            if (path_index, q) not in self._segments
+            if self._segment_key(path_index, q, resolved) not in self._segments
         ]
         if not missing:
             return
@@ -240,15 +256,16 @@ class ClusterTable(PathTable):
                     samples = []
                     break
                 samples.append(latencies + self.node_gather[node_index])
+            key = self._segment_key(path_index, q, resolved)
             if not samples:
-                self._segments[(path_index, q)] = None
+                self._segments[key] = None
                 continue
             pooled = [
                 np.quantile(sample, (np.arange(count) + 0.5) / count)
                 for sample, count in zip(samples, counts)
                 if count > 0
             ]
-            self._segments[(path_index, q)] = np.concatenate(pooled)
+            self._segments[key] = np.concatenate(pooled)
 
 
 def build_cluster_table(

@@ -18,6 +18,7 @@ from repro.models.zoo import (
     RM_SMALL,
 )
 from repro.quality.evaluator import QualityEvaluator
+from repro.serving.service_times import CachedServiceConfig
 from repro.serving.simulator import SimulationConfig
 
 #: Candidate-pool size used throughout the Criteo deep dive.
@@ -136,7 +137,12 @@ def make_scheduler(
     num_queries: int = 2000,
     num_tables: int = 26,
     seed: int = 0,
+    service: CachedServiceConfig | None = None,
 ) -> RecPipeScheduler:
-    """A scheduler with a simulation budget small enough for CI-speed runs."""
-    simulation = SimulationConfig.with_budget(num_queries, seed=seed)
+    """A scheduler with a simulation budget small enough for CI-speed runs.
+
+    ``service`` selects the per-query service-time model every simulation
+    under the scheduler runs with (``None`` keeps deterministic service).
+    """
+    simulation = SimulationConfig.with_budget(num_queries, seed=seed, service=service)
     return RecPipeScheduler(evaluator, simulation=simulation, num_tables=num_tables)

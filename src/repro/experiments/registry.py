@@ -19,6 +19,7 @@ from typing import Callable, Iterator, Sequence
 from repro.experiments import (
     bench_simulator,
     capacity_planning,
+    coldcache,
     fig01_motivation,
     fig03_quality,
     fig05_ablation,
@@ -29,6 +30,7 @@ from repro.experiments import (
     fig12_rpaccel_scale,
     fig13_future,
     fig14_summary,
+    flashcrowd,
     frontend_online,
     router_online,
     sweep_multiplatform,
@@ -227,6 +229,8 @@ def _build_default_registry() -> ExperimentRegistry:
         ("sweepmp", sweep_multiplatform),
         ("router", router_online),
         ("frontend", frontend_online),
+        ("flashcrowd", flashcrowd),
+        ("coldcache", coldcache),
         ("bench-sim", bench_simulator),
         ("capacity", capacity_planning),
     ):
@@ -241,6 +245,6 @@ REGISTRY = _build_default_registry()
 def default_registry() -> ExperimentRegistry:
     """The process-wide registry: the paper's eleven experiments, the
     cross-platform sweep, the online serving router, the per-query
-    frontend, the simulator engine benchmark, and the fleet capacity
-    planner."""
+    frontend, the cache-state scenarios (flashcrowd, coldcache), the
+    simulator engine benchmark, and the fleet capacity planner."""
     return REGISTRY

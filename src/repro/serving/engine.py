@@ -35,6 +35,24 @@ across an entire QPS column — ``rng.exponential(scale)`` is bitwise
 ``1/qps`` reproduces the exact arrivals a per-cell draw with the same seed
 would produce, while the Lindley kernel runs batched over the whole
 ``(qps, query)`` matrix.
+
+**Stochastic service.**  Both engines also accept *per-query* service times
+(sampled from :mod:`repro.serving.service_times`).  With heterogeneous
+service the earliest-free-server discipline loses its closed form (the
+Kiefer–Wolfowitz recursion has no running-maximum solution), so the model is
+*defined* as round-robin lane dispatch: query ``q`` runs on lane
+``q mod c``, which coincides exactly with earliest-free-server when service
+is constant.  Within one lane the Lindley recurrence still solves in closed
+form with exclusive per-lane cumulative sums replacing ``j*S``:
+
+    ``start_j = C_j + max_{i <= j}(eligible_i - C_i)``,  ``C_j = sum_{i<j} S_i``
+
+The event engine mirrors the same dispatch rule per query, keeping it a
+genuinely independent oracle (sequential scalar recursion vs batched
+cummax); the two agree to ``atol=1e-9`` on stochastic vectors too (see
+``tests/test_service_times.py``).  Service draws use a seed derived from the
+arrival seed (:func:`service_seed`), so arrivals stay bit-identical whether
+or not a service model is active.
 """
 
 from __future__ import annotations
@@ -47,6 +65,7 @@ import numpy as np
 
 from repro.serving.metrics import LatencyReport, makespan_seconds
 from repro.serving.resources import PipelinePlan
+from repro.serving.service_times import CachedServiceConfig, sampled_service
 
 #: Engines :class:`~repro.serving.simulator.ServingSimulator` can select.
 ENGINES = ("analytic", "event")
@@ -54,16 +73,23 @@ ENGINES = ("analytic", "event")
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Parameters of one at-scale simulation run."""
+    """Parameters of one at-scale simulation run.
+
+    ``service`` selects the per-query service-time model: ``None`` keeps the
+    historical deterministic service, a :class:`CachedServiceConfig` samples
+    cache-aware stochastic service vectors (seeded from the arrival seed via
+    :func:`service_seed`, so arrivals are unchanged either way).
+    """
 
     num_queries: int = 4000
     warmup_queries: int = 200
     seed: int = 0
     saturation_utilization: float = 0.98
     engine: str = "analytic"
+    service: CachedServiceConfig | None = None
 
     def __post_init__(self) -> None:
-        """Validate the simulation budget and engine selection."""
+        """Validate the simulation budget, engine and service model."""
         if self.num_queries <= 0:
             raise ValueError("num_queries must be positive")
         if not 0 <= self.warmup_queries < self.num_queries:
@@ -72,10 +98,18 @@ class SimulationConfig:
             raise ValueError("saturation_utilization must lie in (0, 1]")
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+        if self.service is not None and not isinstance(self.service, CachedServiceConfig):
+            raise ValueError(
+                f"service must be a CachedServiceConfig or None, got {type(self.service)!r}"
+            )
 
     @classmethod
     def with_budget(
-        cls, num_queries: int, seed: int = 0, engine: str = "analytic"
+        cls,
+        num_queries: int,
+        seed: int = 0,
+        engine: str = "analytic",
+        service: CachedServiceConfig | None = None,
     ) -> "SimulationConfig":
         """A config whose warmup scales with the query budget (CI-friendly)."""
         return cls(
@@ -83,6 +117,7 @@ class SimulationConfig:
             warmup_queries=min(200, num_queries // 10),
             seed=seed,
             engine=engine,
+            service=service,
         )
 
 
@@ -105,6 +140,20 @@ def spawn_seeds(seed: int, count: int) -> list[int]:
         int.from_bytes(child.generate_state(4, np.uint32).tobytes(), "little")
         for child in children
     ]
+
+
+def service_seed(seed) -> int:
+    """Derive the service-draw seed paired with arrival seed ``seed``.
+
+    Arrivals consume ``default_rng(seed)`` directly (bit-compatible with
+    every pre-stochastic result); service sampling must not share that
+    stream, so it uses the first spawned child instead.  Every call site --
+    grid, per-cell, router dwell -- derives the pair the same way, which is
+    what makes grid columns equal per-cell runs under a service model.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        seed = int.from_bytes(seed.generate_state(4, np.uint32).tobytes(), "little")
+    return spawn_seeds(int(seed), 1)[0]
 
 
 def draw_unit_arrivals(num_queries: int, seed) -> np.ndarray:
@@ -147,13 +196,20 @@ def build_report(
 # --------------------------------------------------------------------------- #
 # The analytic engine
 # --------------------------------------------------------------------------- #
-def fcfs_start_times(eligible: np.ndarray, num_servers: int, service_seconds: float) -> np.ndarray:
-    """Exact start times of an FCFS multi-server queue with deterministic service.
+def fcfs_start_times(eligible: np.ndarray, num_servers: int, service_seconds) -> np.ndarray:
+    """Exact start times of an FCFS multi-server queue, round-robin lanes.
 
-    ``eligible`` holds per-query eligibility times, non-decreasing along the
-    last axis; leading axes batch independent columns (e.g. one row per QPS
-    point).  Query ``q`` runs on lane ``q mod num_servers``; per lane the
-    Lindley recurrence is solved with one running maximum.
+    ``eligible`` holds per-query eligibility times along the last axis;
+    leading axes batch independent columns (e.g. one row per QPS point).
+    Query ``q`` runs on lane ``q mod num_servers``; per lane the Lindley
+    recurrence is solved with one running maximum (the cummax computes the
+    recurrence for any eligibility ordering, so downstream stages with
+    non-monotone eligibility under heterogeneous service are fine).
+
+    ``service_seconds`` is either a scalar (deterministic service, where
+    round-robin coincides with earliest-free-server) or an array
+    broadcastable to ``eligible`` carrying per-query service times, in which
+    case the per-lane offsets become exclusive cumulative sums.
     """
     eligible = np.asarray(eligible, dtype=np.float64)
     n = eligible.shape[-1]
@@ -165,50 +221,102 @@ def fcfs_start_times(eligible: np.ndarray, num_servers: int, service_seconds: fl
     padded = np.full(lead + (rounds * lanes,), np.inf, dtype=np.float64)
     padded[..., :n] = eligible
     grid = padded.reshape(lead + (rounds, lanes))
-    # start[j] = j*S + cummax(eligible[i] - i*S) along the per-lane axis; the
-    # +inf padding sits in the final round only, downstream of every real entry.
-    offsets = service_seconds * np.arange(rounds, dtype=np.float64)
-    offsets = offsets.reshape((1,) * len(lead) + (rounds, 1))
+    # start[j] = C_j + cummax(eligible[i] - C_i) along the per-lane axis with
+    # C_j the exclusive service prefix sum (j*S for a scalar S); the +inf
+    # padding sits in the final round only, downstream of every real entry.
+    service = np.asarray(service_seconds, dtype=np.float64)
+    if service.ndim == 0:
+        offsets = service * np.arange(rounds, dtype=np.float64)
+        offsets = offsets.reshape((1,) * len(lead) + (rounds, 1))
+    else:
+        svc = np.zeros(lead + (rounds * lanes,), dtype=np.float64)
+        svc[..., :n] = np.broadcast_to(service, eligible.shape)
+        svc_grid = svc.reshape(lead + (rounds, lanes))
+        offsets = np.cumsum(svc_grid, axis=-2) - svc_grid
     starts = np.maximum.accumulate(grid - offsets, axis=-2) + offsets
     return starts.reshape(lead + (rounds * lanes,))[..., :n]
 
 
-def analytic_latencies(plan: PipelinePlan, arrivals: np.ndarray) -> np.ndarray:
+def analytic_latencies(
+    plan: PipelinePlan, arrivals: np.ndarray, service: np.ndarray | None = None
+) -> np.ndarray:
     """End-to-end latencies of sorted ``arrivals`` through ``plan``, closed form.
 
     ``arrivals`` may carry leading batch axes; each row is an independent
     simulation sharing the plan.  Eligibility propagates between stages the
     same way the event engine propagates it: ``transfer_seconds`` before a
     stage starts, ``forward_fraction * service`` after it starts.
+
+    ``service`` optionally carries per-query service times: axis 0 indexes
+    stages, the rest broadcasts against ``arrivals`` (e.g. shape
+    ``(num_stages, 1, num_queries)`` for a QPS grid whose service draw is
+    load-independent).  ``None`` keeps each stage's deterministic time.
     """
     arrivals = np.asarray(arrivals, dtype=np.float64)
+    if service is not None:
+        service = np.asarray(service, dtype=np.float64)
+        if service.shape[0] != len(plan.stages):
+            raise ValueError(
+                f"service axis 0 must match the {len(plan.stages)} plan stages, "
+                f"got shape {service.shape}"
+            )
     eligible = arrivals
     completion = arrivals
-    for stage in plan.stages:
+    for k, stage in enumerate(plan.stages):
+        svc = (
+            stage.service_seconds
+            if service is None
+            else np.broadcast_to(service[k], arrivals.shape)
+        )
         eligible = eligible + stage.transfer_seconds
-        start = fcfs_start_times(eligible, stage.num_servers, stage.service_seconds)
-        completion = np.maximum(completion, start + stage.service_seconds)
-        eligible = start + stage.forward_fraction * stage.service_seconds
+        start = fcfs_start_times(eligible, stage.num_servers, svc)
+        completion = np.maximum(completion, start + svc)
+        eligible = start + stage.forward_fraction * svc
     return completion - arrivals
 
 
 # --------------------------------------------------------------------------- #
 # The event-loop reference engine
 # --------------------------------------------------------------------------- #
-def event_latencies(plan: PipelinePlan, arrivals: np.ndarray) -> np.ndarray:
+def event_latencies(
+    plan: PipelinePlan, arrivals: np.ndarray, service: np.ndarray | None = None
+) -> np.ndarray:
     """End-to-end latencies via the discrete-event reference (1-D arrivals).
 
     Kept for validating the closed form: one heappop/heappush per (query,
-    stage).  The analytic engine reproduces these latencies to floating-point
-    noise.
+    stage) under deterministic service, or one round-robin lane update per
+    (query, stage) when ``service`` supplies per-query times -- the same
+    scalar recursion the analytic cummax must reproduce, computed a
+    completely different way.  ``service`` has shape ``(num_stages,)`` or
+    ``(num_stages, num_queries)`` (axis 1 broadcasts).
     """
     arrivals = np.asarray(arrivals, dtype=np.float64)
     if arrivals.ndim != 1:
         raise ValueError("event engine simulates one arrival column at a time")
+    latencies = np.empty(arrivals.size, dtype=np.float64)
+    if service is not None:
+        service = np.asarray(service, dtype=np.float64)
+        matrix = np.broadcast_to(
+            service.reshape(service.shape[0], -1), (len(plan.stages), arrivals.size)
+        )
+        lane_free = [np.zeros(stage.num_servers) for stage in plan.stages]
+        for q in range(arrivals.size):
+            eligible = arrivals[q]
+            completion = arrivals[q]
+            for s, stage in enumerate(plan.stages):
+                svc = matrix[s, q]
+                eligible += stage.transfer_seconds
+                lane = q % stage.num_servers
+                start = max(eligible, lane_free[s][lane])
+                finish = start + svc
+                lane_free[s][lane] = finish
+                completion = max(completion, finish)
+                eligible = start + stage.forward_fraction * svc
+            latencies[q] = completion - arrivals[q]
+        return latencies
     server_free: list[list[float]] = [[0.0] * stage.num_servers for stage in plan.stages]
     for heap in server_free:
         heapq.heapify(heap)
-    latencies = np.empty(arrivals.size, dtype=np.float64)
     for q in range(arrivals.size):
         eligible = arrivals[q]
         completion = arrivals[q]
@@ -248,10 +356,17 @@ def simulate_grid(
         raise ValueError(f"qps points must be positive, got {qps_list}")
     if not qps_list:
         return []
-    unit = draw_unit_arrivals(cfg.num_queries, cfg.seed if seed is None else seed)
+    effective_seed = cfg.seed if seed is None else seed
+    unit = draw_unit_arrivals(cfg.num_queries, effective_seed)
+    service = None
+    if cfg.service is not None:
+        # One load-independent draw per column, broadcast over the QPS axis --
+        # the service a query needs does not depend on how fast queries arrive.
+        matrix = sampled_service(plan, cfg.service, cfg.num_queries, service_seed(effective_seed))
+        service = matrix[:, None, :]
     scales = 1.0 / np.asarray(qps_list, dtype=np.float64)
     arrivals = np.cumsum(unit[None, :] * scales[:, None], axis=1)
-    latencies = analytic_latencies(plan, arrivals)
+    latencies = analytic_latencies(plan, arrivals, service=service)
     return [
         build_report(plan, cfg, qps, arrivals[i], latencies[i]) for i, qps in enumerate(qps_list)
     ]
@@ -278,11 +393,16 @@ class AnalyticSimulator:
 
     def latencies(self, qps: float, seed=None) -> tuple[np.ndarray, np.ndarray]:
         """(arrivals, end-to-end latencies) at ``qps``, warmup included."""
-        unit = draw_unit_arrivals(
-            self.config.num_queries, self.config.seed if seed is None else seed
-        )
+        effective_seed = self.config.seed if seed is None else seed
+        unit = draw_unit_arrivals(self.config.num_queries, effective_seed)
         arrivals = arrivals_at_qps(unit, qps)
-        return arrivals, analytic_latencies(self.plan, arrivals)
+        service = None
+        if self.config.service is not None:
+            service = sampled_service(
+                self.plan, self.config.service, self.config.num_queries,
+                service_seed(effective_seed),
+            )
+        return arrivals, analytic_latencies(self.plan, arrivals, service=service)
 
     def run(self, qps: float, seed=None) -> LatencyReport:
         """Simulate one load point in closed form."""

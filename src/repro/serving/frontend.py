@@ -188,6 +188,12 @@ class FrontendSchedule:
         Fresh arrivals pushed to the backlog in each window.
     window_shed : np.ndarray
         Fresh arrivals rejected in each window.
+    window_shed_reason : np.ndarray
+        Why each window shed (``"none"`` when it shed nothing,
+        ``"no-capacity"`` when the chosen path's admission cap was zero,
+        ``"queue-full"`` when the defer queue had no room).  Always
+        populated — batching on or off — so ``route_steps.*`` artifacts
+        stay schema-identical across modes.
     query_state : np.ndarray
         Admission outcome per query (``QUERY_SHED`` / ``QUERY_ADMITTED``
         / ``QUERY_DEFERRED``; deferred queries dropped at stream end are
@@ -211,6 +217,7 @@ class FrontendSchedule:
     window_from_queue: np.ndarray
     window_deferred: np.ndarray
     window_shed: np.ndarray
+    window_shed_reason: np.ndarray
     query_state: np.ndarray
     query_path: np.ndarray
     query_serve_window: np.ndarray
@@ -452,6 +459,7 @@ class StreamingFrontend:
         from_queue = np.zeros(num_windows, dtype=np.int64)
         deferred = np.zeros(num_windows, dtype=np.int64)
         shed = np.zeros(num_windows, dtype=np.int64)
+        shed_reason = np.full(num_windows, "none", dtype="<U11")
 
         backlog: deque[tuple[int, int]] = deque()
         backlog_size = 0
@@ -490,6 +498,8 @@ class StreamingFrontend:
                 backlog_size += defer
             deferred[w] = defer
             shed[w] = end - overflow_lo - defer
+            if shed[w]:
+                shed_reason[w] = "no-capacity" if cap == 0 else "queue-full"
             max_queue_depth = max(max_queue_depth, backlog_size)
         # Queries still queued when the stream ends were never served.
         for lo, hi in backlog:
@@ -507,6 +517,7 @@ class StreamingFrontend:
             window_from_queue=from_queue,
             window_deferred=deferred,
             window_shed=shed,
+            window_shed_reason=shed_reason,
             query_state=query_state,
             query_path=query_path,
             query_serve_window=query_serve_window,

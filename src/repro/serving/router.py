@@ -50,11 +50,13 @@ from repro.serving.engine import (
     SimulationConfig,
     analytic_latencies,
     draw_unit_arrivals,
+    service_seed,
     spawn_seeds,
 )
 from repro.serving.estimators import HazardDwellForecaster, LoadEstimator, WindowedMean
 from repro.serving.metrics import weighted_percentile
 from repro.serving.resources import PipelinePlan
+from repro.serving.service_times import CachedServiceConfig, ServiceTimeSampler, sampled_service
 from repro.serving.trace import LoadTrace
 
 if TYPE_CHECKING:  # the core layer imports serving; keep the reverse edge type-only
@@ -197,9 +199,12 @@ class PathTable:
     quality_target: float | None = None
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
     seed: int = 0
-    _segments: dict[tuple[int, float], np.ndarray | None] = field(
+    _segments: dict[tuple, np.ndarray | None] = field(
         default_factory=dict, init=False, repr=False
     )
+    _service_samplers: dict[
+        tuple[int, CachedServiceConfig], tuple[ServiceTimeSampler, np.ndarray]
+    ] = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         """Validate the grid; precompute frontiers, eligibility, per-path seeds."""
@@ -523,7 +528,67 @@ class PathTable:
     # ------------------------------------------------------------------ #
     # Dwell-segment simulation
     # ------------------------------------------------------------------ #
-    def _segment_latencies(self, path_index: int, qps: float) -> np.ndarray | None:
+    def _resolve_service(self, service: CachedServiceConfig | None) -> CachedServiceConfig | None:
+        """The service model a dwell cell runs under (explicit > table default)."""
+        return self.simulation.service if service is None else service
+
+    @staticmethod
+    def _segment_key(path_index: int, qps: float, service: CachedServiceConfig | None) -> tuple:
+        """Memo key of one dwell cell; deterministic cells keep the legacy shape."""
+        if service is None:
+            return (path_index, qps)
+        return (path_index, qps, service)
+
+    def _service_state(
+        self, path_index: int, service: CachedServiceConfig
+    ) -> tuple[ServiceTimeSampler, np.ndarray]:
+        """The memoized (sampler, service matrix) of one (path, model) pair.
+
+        One load-independent draw per pair, seeded from the path's arrival
+        seed via :func:`service_seed` — the same derivation the simulator
+        and grid paths use, so dwell cells reproduce their samples.  The
+        sampler is kept alongside the matrix so its measured hit tallies
+        stay readable (:meth:`service_stats`).
+        """
+        key = (path_index, service)
+        state = self._service_samplers.get(key)
+        if state is None:
+            sampler = ServiceTimeSampler(service)
+            matrix = sampled_service(
+                self.paths[path_index].plan,
+                service,
+                self.simulation.num_queries,
+                service_seed(self._path_seeds[path_index]),
+                sampler=sampler,
+            )
+            state = (sampler, matrix)
+            self._service_samplers[key] = state
+        return state
+
+    def service_stats(self) -> list[dict]:
+        """Measured cache statistics of every (path, service model) sampled.
+
+        One row per pair: simulated accesses, hits, the *measured* hit rate
+        (the feedback signal replacing the Zipf closed form) and the
+        closed-form rate for comparison.
+        """
+        rows = []
+        for (path_index, config), (sampler, _) in self._service_samplers.items():
+            rows.append(
+                {
+                    "path": self.paths[path_index].name,
+                    "service": config,
+                    "accesses": sampler.accesses,
+                    "hits": sampler.hits,
+                    "measured_hit_rate": sampler.measured_hit_rate,
+                    "analytic_hit_rate": config.analytic_hit_rate,
+                }
+            )
+        return rows
+
+    def _segment_latencies(
+        self, path_index: int, qps: float, service: CachedServiceConfig | None = None
+    ) -> np.ndarray | None:
         """Steady-state per-query latencies of one (path, load) dwell cell.
 
         Returns ``None`` for saturated cells (offered load at or beyond the
@@ -532,36 +597,55 @@ class PathTable:
         fill in :meth:`_fill_segments` and this scalar path produce
         identical samples.
         """
-        key = (path_index, float(qps))
+        service = self._resolve_service(service)
+        key = self._segment_key(path_index, float(qps), service)
         if key not in self._segments:
-            self._fill_segments(path_index, [float(qps)])
+            self._fill_segments(path_index, [float(qps)], service=service)
         return self._segments[key]
 
-    def _fill_segments(self, path_index: int, qps_values: Sequence[float]) -> None:
-        """Simulate every missing (path, load) cell in one batched kernel call."""
+    def _fill_segments(
+        self,
+        path_index: int,
+        qps_values: Sequence[float],
+        service: CachedServiceConfig | None = None,
+    ) -> None:
+        """Simulate every missing (path, load) cell in one batched kernel call.
+
+        ``service`` selects the per-query service model of the filled cells
+        (``None`` resolves to the table default).  The saturation pre-check
+        stays on the deterministic utilization — a stochastic cell whose
+        inflated service overloads the path is simulated honestly and shows
+        up as latency mass, not silently dropped.
+        """
         path = self.paths[path_index]
         cfg = self.simulation
+        service = self._resolve_service(service)
         missing = [
             q
             for q in dict.fromkeys(float(q) for q in qps_values)
-            if (path_index, q) not in self._segments
+            if self._segment_key(path_index, q, service) not in self._segments
         ]
         if not missing:
             return
         live: list[float] = []
         for q in missing:
             if path.plan.utilization(q) >= cfg.saturation_utilization:
-                self._segments[(path_index, q)] = None
+                self._segments[self._segment_key(path_index, q, service)] = None
             else:
                 live.append(q)
         if not live:
             return
+        service_matrix = None
+        if service is not None:
+            service_matrix = self._service_state(path_index, service)[1][:, None, :]
         unit = draw_unit_arrivals(cfg.num_queries, self._path_seeds[path_index])
         scales = 1.0 / np.asarray(live, dtype=np.float64)
         arrivals = np.cumsum(unit[None, :] * scales[:, None], axis=1)
-        latencies = analytic_latencies(path.plan, arrivals)
+        latencies = analytic_latencies(path.plan, arrivals, service=service_matrix)
         for row, q in enumerate(live):
-            self._segments[(path_index, q)] = latencies[row, cfg.warmup_queries :]
+            self._segments[self._segment_key(path_index, q, service)] = latencies[
+                row, cfg.warmup_queries :
+            ]
 
     def dwell_latencies(self, path_index: int, qps: float) -> np.ndarray | None:
         """Steady-state per-query latencies of one (path, load) dwell cell.
@@ -615,6 +699,7 @@ class PathTable:
         switch_steps: Sequence[bool],
         policy: str,
         switch_penalty_seconds: float = 0.0,
+        service_steps: Sequence[CachedServiceConfig | None] | None = None,
     ) -> RoutingResult:
         """Simulate a routed schedule and aggregate its serving metrics.
 
@@ -641,6 +726,10 @@ class PathTable:
             Label recorded in the result (``static``/``oracle``/``online``).
         switch_penalty_seconds : float
             Latency added to every query of a switch step.
+        service_steps : sequence of CachedServiceConfig or None, optional
+            Per-step service-model overrides (scenario harnesses shift the
+            cache state mid-trace this way).  ``None`` entries — and an
+            omitted argument — fall back to the table's default model.
 
         Returns
         -------
@@ -651,12 +740,20 @@ class PathTable:
         switch_steps = list(switch_steps)
         if len(path_steps) != trace.num_steps or len(switch_steps) != trace.num_steps:
             raise ValueError("path_steps and switch_steps must cover every trace step")
+        if service_steps is None:
+            service_steps = [None] * trace.num_steps
+        else:
+            service_steps = list(service_steps)
+            if len(service_steps) != trace.num_steps:
+                raise ValueError("service_steps must cover every trace step")
         queries = trace.queries_per_step()
         total_queries = float(queries.sum())
-        for index in set(path_steps):
-            self._fill_segments(
-                index, [trace.qps[t] for t, i in enumerate(path_steps) if i == index]
-            )
+        fill_groups: dict[tuple, list[float]] = {}
+        for t, index in enumerate(path_steps):
+            resolved = self._resolve_service(service_steps[t])
+            fill_groups.setdefault((index, resolved), []).append(trace.qps[t])
+        for (index, resolved), loads in fill_groups.items():
+            self._fill_segments(index, loads, service=resolved)
 
         violations = 0.0
         quality_mass = 0.0
@@ -670,7 +767,9 @@ class PathTable:
             quality_mass += weight * path.quality
             occupancy[path.name] = occupancy.get(path.name, 0.0) + weight
             penalty = switch_penalty_seconds if switch_steps[t] else 0.0
-            latencies = self._segment_latencies(index, float(trace.qps[t]))
+            latencies = self._segment_latencies(
+                index, float(trace.qps[t]), service=service_steps[t]
+            )
             if latencies is None:  # saturated: every query violates, none delivers
                 violations += weight
                 pooled_values.append(np.asarray([np.inf]))

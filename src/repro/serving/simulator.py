@@ -37,10 +37,12 @@ from repro.serving.engine import (
     build_report,
     draw_unit_arrivals,
     event_latencies,
+    service_seed,
     simulate_grid,
 )
 from repro.serving.metrics import LatencyReport
 from repro.serving.resources import PipelinePlan
+from repro.serving.service_times import sampled_service
 
 __all__ = ["ServingSimulator", "SimulationConfig", "sweep_load"]
 
@@ -52,10 +54,19 @@ class ServingSimulator:
     plan: PipelinePlan
     config: SimulationConfig = field(default_factory=SimulationConfig)
 
-    def _latencies(self, arrivals: np.ndarray) -> np.ndarray:
+    def _service(self, effective_seed) -> np.ndarray | None:
+        """Per-query service matrix for ``config.service`` (None = deterministic)."""
+        if self.config.service is None:
+            return None
+        return sampled_service(
+            self.plan, self.config.service, self.config.num_queries,
+            service_seed(effective_seed),
+        )
+
+    def _latencies(self, arrivals: np.ndarray, service: np.ndarray | None = None) -> np.ndarray:
         if self.config.engine == "event":
-            return event_latencies(self.plan, arrivals)
-        return analytic_latencies(self.plan, arrivals)
+            return event_latencies(self.plan, arrivals, service=service)
+        return analytic_latencies(self.plan, arrivals, service=service)
 
     def run(self, qps: float, seed=None) -> LatencyReport:
         """Simulate ``config.num_queries`` arrivals at ``qps`` and report latency.
@@ -66,26 +77,32 @@ class ServingSimulator:
         if qps <= 0:
             raise ValueError(f"qps must be positive, got {qps}")
         cfg = self.config
-        unit = draw_unit_arrivals(cfg.num_queries, cfg.seed if seed is None else seed)
+        effective_seed = cfg.seed if seed is None else seed
+        unit = draw_unit_arrivals(cfg.num_queries, effective_seed)
         arrivals = arrivals_at_qps(unit, qps)
-        latencies = self._latencies(arrivals)
+        latencies = self._latencies(arrivals, self._service(effective_seed))
         return build_report(self.plan, cfg, qps, arrivals, latencies)
 
     def run_grid(self, qps_values: Sequence[float], seed=None) -> list[LatencyReport]:
         """One report per load in ``qps_values`` from a single arrival draw.
 
         On the analytic engine the whole column is simulated in one batched
-        call; the event engine replays the same arrivals per load.
+        call; the event engine replays the same arrivals (and, under a
+        service model, the same load-independent service draw) per load.
         """
         cfg = self.config
         if cfg.engine == "analytic":
             return simulate_grid(self.plan, qps_values, cfg, seed=seed)
-        unit = draw_unit_arrivals(cfg.num_queries, cfg.seed if seed is None else seed)
+        effective_seed = cfg.seed if seed is None else seed
+        unit = draw_unit_arrivals(cfg.num_queries, effective_seed)
+        service = self._service(effective_seed)
         reports = []
         for qps in qps_values:
             qps = float(qps)
             arrivals = arrivals_at_qps(unit, qps)
-            reports.append(build_report(self.plan, cfg, qps, arrivals, self._latencies(arrivals)))
+            reports.append(
+                build_report(self.plan, cfg, qps, arrivals, self._latencies(arrivals, service))
+            )
         return reports
 
     def max_sustainable_qps(
@@ -106,11 +123,12 @@ class ServingSimulator:
             raise ValueError("sla_seconds must be positive")
         cfg = self.config
         unit = draw_unit_arrivals(cfg.num_queries, cfg.seed)
+        service = self._service(cfg.seed)
 
         def probe(qps: float) -> LatencyReport:
-            """One binary-search probe sharing the outer arrival draw."""
+            """One binary-search probe sharing the outer arrival + service draws."""
             arrivals = arrivals_at_qps(unit, qps)
-            return build_report(self.plan, cfg, qps, arrivals, self._latencies(arrivals))
+            return build_report(self.plan, cfg, qps, arrivals, self._latencies(arrivals, service))
 
         capacity = self.plan.throughput_capacity()
         if qps_upper is None:

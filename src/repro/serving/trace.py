@@ -112,8 +112,8 @@ class LoadTrace:
         LoadTrace
             A new trace (same name and step width) at the scaled load.
         """
-        if factor <= 0:
-            raise ValueError("factor must be positive")
+        if not factor > 0:  # also rejects NaN
+            raise ValueError(f"factor must be positive, got {factor!r}")
         return LoadTrace(self.name, self.step_seconds, self.qps * factor)
 
     def window_rates(self, window_seconds: float) -> np.ndarray:
@@ -136,13 +136,20 @@ class LoadTrace:
         -------
         np.ndarray
             One mean rate per window, covering the whole trace duration
-            (``ceil(duration / window_seconds)`` windows).
+            (``ceil(duration / window_seconds)`` windows, minus the phantom
+            trailing window float rounding can append when the ratio lands
+            just past an integer).
         """
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
         if window_seconds == self.step_seconds:
             return self.qps.copy()
         num_windows = int(np.ceil(self.duration_seconds / window_seconds))
+        # Float rounding can push the ratio just past an integer (e.g.
+        # 5.0 / (5.0 / 3.0) = 3.0000000000000004), and the ceil then adds a
+        # phantom zero-width trailing window whose rate would read as 0.
+        if num_windows > 1 and (num_windows - 1) * window_seconds >= self.duration_seconds:
+            num_windows -= 1
         # Integral of the piecewise-constant rate up to each step boundary.
         boundaries = np.arange(self.num_steps + 1) * self.step_seconds
         cumulative_work = np.concatenate(([0.0], np.cumsum(self.queries_per_step())))
@@ -152,7 +159,13 @@ class LoadTrace:
         work_at_edges = np.interp(edges, boundaries, cumulative_work)
         widths = np.diff(edges)
         widths[widths == 0] = window_seconds  # guard an exactly-aligned tail
-        return np.diff(work_at_edges) / widths
+        # Each window rate is a convex combination of the overlapped step
+        # loads, so it lies inside the trace envelope exactly; clamping
+        # removes the cancellation noise a sliver-width trailing window
+        # amplifies (tiny width dividing a catastrophically-cancelled work
+        # difference).
+        rates = np.diff(work_at_edges) / widths
+        return np.clip(rates, float(np.min(self.qps)), float(np.max(self.qps)))
 
 
 def _noisy(qps: np.ndarray, noise: float, seed) -> np.ndarray:

@@ -460,6 +460,42 @@ class TestRoute:
         assert cli.main(self.ROUTE_ARGS + ["--estimator", "ewma", "--ewma-alpha", "1.5"]) == 2
         assert "alpha" in capsys.readouterr().err
 
+    def test_unknown_service_model_is_an_error(self, capsys):
+        # Validated by hand (not argparse choices) so the message can name
+        # the registry; must fail in milliseconds, before the table compile.
+        assert cli.main(self.ROUTE_ARGS + ["--service-model", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown --service-model 'bogus'" in err
+        assert "cached" in err and "deterministic" in err
+
+    def test_non_positive_window_seconds_is_an_error(self, capsys):
+        for value in ("0", "-2.5"):
+            assert cli.main(self.ROUTE_ARGS + ["--window-seconds", value]) == 2
+            assert "--window-seconds must be positive" in capsys.readouterr().err
+
+    def test_no_batching_conflicts_with_explicit_max_batch(self, capsys):
+        args = self.ROUTE_ARGS + ["--no-batching", "--max-batch", "8"]
+        assert cli.main(args) == 2
+        assert "conflicts with --max-batch" in capsys.readouterr().err
+
+    def test_non_positive_max_batch_is_an_error(self, capsys):
+        assert cli.main(self.ROUTE_ARGS + ["--max-batch", "0"]) == 2
+        assert "--max-batch must be >= 1" in capsys.readouterr().err
+
+    def test_service_model_round_trips_into_the_manifest(self, tmp_path):
+        out_dir = tmp_path / "route"
+        args = self.ROUTE_ARGS + [
+            "--service-model",
+            "cached",
+            "--output-dir",
+            str(out_dir),
+            "--quiet",
+        ]
+        assert cli.main(args) == 0
+        config = artifacts.load_manifest(out_dir)["config"]
+        assert config["service_model"] == "cached"
+        assert config["max_batch"] == 64  # the resolved value, not the sentinel
+
     def test_online_beats_static_on_spike_violations(self, tmp_path):
         out_dir = tmp_path / "route"
         assert cli.main(self.ROUTE_ARGS + ["--output-dir", str(out_dir), "--quiet"]) == 0
@@ -498,11 +534,16 @@ class TestRoutePerQuery:
             "admitted",
             "deferred",
             "shed",
+            "shed_reason",
             "batch_size",
         ):
             assert key in steps["rows"][0]
         for row in steps["rows"]:
             assert row["admitted"] + row["deferred"] + row["shed"] >= row["arrivals"]
+            # The shed-reason column is present on every row, not only when
+            # something was shed, so the log schema is load-independent.
+            assert row["shed_reason"] in {"none", "no-capacity", "queue-full"}
+            assert (row["shed"] > 0) == (row["shed_reason"] != "none")
 
     def test_per_query_frontend_respects_the_bounds(self, tmp_path):
         out_dir = tmp_path / "route"
@@ -549,7 +590,11 @@ class TestRoutePerQuery:
 
         args = cli.build_parser().parse_args(["route"])
         assert args.mode == "per-step"
-        assert args.max_batch == StreamingFrontend.max_batch
+        # --max-batch defaults to a None sentinel so cmd_route can tell
+        # "explicitly set" (conflicts with --no-batching) from "unset"
+        # (resolves to the dataclass default).
+        assert args.max_batch is None
+        assert StreamingFrontend.max_batch == 64
         assert args.defer_windows == StreamingFrontend.defer_windows
         assert args.arrival_process == StreamingFrontend.arrival_process
         assert args.window_seconds is None

@@ -34,9 +34,10 @@ from repro.cluster import (
     shard_table_wise,
     tables_from_cost,
 )
-from repro.cluster.fleet import HOST_BASE_COST_USD, mix_label
+from repro.cluster.fleet import HOST_BASE_COST_USD, _mixture_counts, mix_label
 from repro.models.zoo import RM_LARGE
 from repro.serving.router import route_oracle, route_static
+from repro.serving.service_times import CachedServiceConfig
 from tests.conftest import flat_trace, make_table
 
 # --------------------------------------------------------------------------- #
@@ -48,8 +49,15 @@ table_sets = st.lists(
         name=st.just("t"),
         num_rows=st.integers(min_value=1, max_value=400),
         dim=st.integers(min_value=1, max_value=16),
+        # Subnormal lookup rates underflow to a zero payload when multiplied
+        # by a shard share, flipping the `payload > 0` gather gate and
+        # breaking monotonicity for reasons that are pure float rounding.
         lookups_per_query=st.floats(
-            min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False
+            min_value=0.0,
+            max_value=50.0,
+            allow_nan=False,
+            allow_infinity=False,
+            allow_subnormal=False,
         ),
     ),
     min_size=1,
@@ -229,6 +237,77 @@ class TestFleetCost:
         assert mix_label(nodes) == "1xcpu+2xrpaccel"
 
 
+class TestMixtureCounts:
+    """Pin `_mixture_counts`: the largest-remainder split behind sample pooling.
+
+    The contract the quantile pooling in ``ClusterTable._fill_segments``
+    relies on: counts sum to exactly the requested pool size, remainder
+    ties break toward the lower index, and every positive-weight node keeps
+    at least one sample.
+    """
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        data=st.data(),
+        raw_weights=st.lists(
+            st.floats(0.01, 1.0, allow_nan=False, allow_subnormal=False),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_counts_sum_exactly_and_cover_every_node(self, data, raw_weights):
+        weights = np.asarray(raw_weights) / np.sum(raw_weights)
+        size = data.draw(st.integers(min_value=weights.size, max_value=500))
+        counts = _mixture_counts(weights, size)
+        assert int(counts.sum()) == size
+        assert np.all(counts >= 1)  # every positive weight keeps a sample
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        data=st.data(),
+        raw_weights=st.lists(
+            st.floats(0.01, 1.0, allow_nan=False, allow_subnormal=False),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_allocation_is_deterministic(self, data, raw_weights):
+        weights = np.asarray(raw_weights) / np.sum(raw_weights)
+        size = data.draw(st.integers(min_value=weights.size, max_value=500))
+        np.testing.assert_array_equal(
+            _mixture_counts(weights, size), _mixture_counts(weights, size)
+        )
+
+    def test_remainder_ties_break_toward_the_lower_index(self):
+        # raw = [2.5, 2.5]: one leftover sample, equal remainders — the
+        # stable sort hands it to index 0, every run.
+        np.testing.assert_array_equal(
+            _mixture_counts(np.array([0.5, 0.5]), 5), [3, 2]
+        )
+        # raw = [1.5] * 4, two leftovers: indices 0 and 1 get them.
+        np.testing.assert_array_equal(
+            _mixture_counts(np.array([0.25] * 4), 6), [2, 2, 1, 1]
+        )
+
+    def test_exact_weights_allocate_without_remainders(self):
+        np.testing.assert_array_equal(
+            _mixture_counts(np.array([0.25, 0.5, 0.25]), 8), [2, 4, 2]
+        )
+
+    def test_starved_component_borrows_from_the_largest(self):
+        # raw = [3.996, 0.004]: the remainder pass yields [4, 0]; the tiny
+        # weight's floor sample comes out of the dominant component so the
+        # total stays exactly at the pool size (this used to overshoot).
+        counts = _mixture_counts(np.array([0.999, 0.001]), 4)
+        np.testing.assert_array_equal(counts, [3, 1])
+        assert int(counts.sum()) == 4
+
+    def test_zero_weight_component_gets_nothing(self):
+        np.testing.assert_array_equal(
+            _mixture_counts(np.array([0.5, 0.5, 0.0]), 4), [2, 2, 0]
+        )
+
+
 class TestClusterTable:
     @pytest.fixture()
     def fleet(self):
@@ -293,6 +372,37 @@ class TestClusterTable:
         nodes = (NodeSpec("n0", "rpaccel", 10**9),)
         with pytest.raises(ValueError, match="no compiled table"):
             build_cluster_table(nodes, {"cpu": single}, (200.0,), plan, link)
+
+    def test_service_overrides_are_rejected_not_ignored(self, fleet):
+        """Per-step cache states cannot compose through the node mixture."""
+        _, cluster, _, _ = fleet
+        trace = flat_trace(400.0, num_steps=4)
+        steps = [CachedServiceConfig()] * trace.num_steps
+        with pytest.raises(NotImplementedError, match="service overrides"):
+            cluster.evaluate_route(
+                trace,
+                [0] * trace.num_steps,
+                [False] * trace.num_steps,
+                policy="static",
+                service_steps=steps,
+            )
+
+    def test_override_matching_the_table_default_is_allowed(self, fleet):
+        _, cluster, _, _ = fleet
+        trace = flat_trace(400.0, num_steps=4)
+        default_steps = [cluster.simulation.service] * trace.num_steps
+        plain = cluster.evaluate_route(
+            trace, [0] * trace.num_steps, [False] * trace.num_steps, policy="static"
+        )
+        explicit = cluster.evaluate_route(
+            trace,
+            [0] * trace.num_steps,
+            [False] * trace.num_steps,
+            policy="static",
+            service_steps=default_steps,
+        )
+        assert explicit.p99_seconds == pytest.approx(plain.p99_seconds)
+        assert explicit.violation_rate == plain.violation_rate
 
     def test_weights_validation(self, fleet):
         single, cluster, _, _ = fleet

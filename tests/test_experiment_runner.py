@@ -23,6 +23,8 @@ class TestRunner:
             "sweepmp",  # cross-platform sweep (Figures 8-10 comparison)
             "router",  # online multi-path serving router (MP-Rec-style)
             "frontend",  # per-query streaming frontend (admission + batching)
+            "flashcrowd",  # cache-aware flash crowd (stochastic service times)
+            "coldcache",  # cache-aware cold-cache re-warm (stochastic service times)
             "bench-sim",  # simulator engine benchmark (event vs analytic)
             "capacity",  # fleet capacity planning (cluster layer)
         }

@@ -281,6 +281,50 @@ class TestAdmissionAccounting:
             frontend.schedule(flat_trace(100.0, num_steps=3), stream)
 
 
+class TestShedReasonSchema:
+    """``window_shed_reason``: one labelled entry per window, always present.
+
+    The CLI step log relies on the column existing with a closed vocabulary
+    whether or not anything was shed, so downstream readers never branch on
+    schema shape.
+    """
+
+    VOCABULARY = {"none", "no-capacity", "queue-full"}
+
+    @pytest.mark.parametrize("batching", [True, False])
+    @pytest.mark.parametrize("qps", [1000.0, 8000.0])
+    def test_schema_is_unconditional(self, batching, qps):
+        frontend = paced_frontend(make_table(), batching=batching)
+        plan = frontend.schedule(flat_trace(qps, num_steps=6))
+        reasons = plan.window_shed_reason
+        assert reasons.shape == (plan.num_windows,)
+        assert set(reasons) <= self.VOCABULARY
+        np.testing.assert_array_equal(plan.window_shed > 0, reasons != "none")
+
+    def test_feasible_load_reports_none_everywhere(self):
+        plan = paced_frontend(make_table()).schedule(flat_trace(1000.0, num_steps=6))
+        assert plan.shed_queries == 0
+        assert set(plan.window_shed_reason) == {"none"}
+
+    def test_overload_with_capacity_reports_queue_full(self):
+        plan = paced_frontend(make_table()).schedule(flat_trace(8000.0, num_steps=6))
+        shed_windows = plan.window_shed > 0
+        assert np.any(shed_windows)
+        assert set(plan.window_shed_reason[shed_windows]) == {"queue-full"}
+
+    def test_zero_capacity_windows_report_no_capacity(self):
+        # A decision window so short that floor(max_feasible_qps * window)
+        # rounds to zero admitted slots: every arrival is shed for lack of
+        # capacity, not queue space (the queue limit scales with capacity).
+        frontend = paced_frontend(make_table(), window_seconds=1e-4)
+        plan = frontend.schedule(flat_trace(10_000.0, num_steps=1, step_seconds=0.01))
+        assert plan.served_queries == 0
+        shed_windows = plan.window_shed > 0
+        assert np.any(shed_windows)
+        assert set(plan.window_shed_reason[shed_windows]) == {"no-capacity"}
+        assert set(plan.window_shed_reason[~shed_windows]) <= {"none"}
+
+
 class TestDynamicBatching:
     def test_batch_obeys_the_headroom_rule(self):
         table = make_table()

@@ -26,6 +26,8 @@ ALL_IDS = [
     "sweepmp",
     "router",
     "frontend",
+    "flashcrowd",
+    "coldcache",
     "bench-sim",
     "capacity",
 ]
@@ -53,7 +55,7 @@ class TestDefaultRegistry:
     def test_covers_every_paper_artifact(self):
         registry = default_registry()
         assert registry.ids() == ALL_IDS
-        assert len(registry) == 16
+        assert len(registry) == 18
 
     def test_every_spec_has_metadata(self):
         for spec in default_registry():
