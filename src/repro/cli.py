@@ -10,6 +10,7 @@ Subcommands::
     recpipe route --service-model cached --trace spike [--output-dir D]
     recpipe capacity --platforms cpu,rpaccel --max-nodes 4 [--output-dir D]
     recpipe report --output-dir D     # re-render the tables of a previous run
+    recpipe compare RUN_A RUN_B       # markdown diff of two --output-dir runs
 
 ``run`` executes registered experiment harnesses (process-parallel with
 ``--jobs``); ``sweep`` exposes the :mod:`repro.core.sweep` design-space
@@ -23,9 +24,14 @@ batching (:mod:`repro.serving.frontend`); ``capacity`` sweeps every
 (:mod:`repro.cluster`) and emits the cost/QPS frontier of the mixes that
 serve a diurnal trace within the p99 SLA.  With ``--output-dir`` all of them
 write per-experiment JSON + CSV artifacts and a ``manifest.json`` (config,
-seed, wall-clock per experiment), which ``report`` reads back.  ``list
---format markdown`` emits the registry table embedded in
-``docs/experiments.md`` (checked by CI).
+seed, resolved knobs, wall-clock per experiment), which ``report`` reads
+back and ``compare`` diffs pairwise into a markdown report.  ``run
+--scenario FILE`` expands a declarative scenario config
+(:mod:`repro.scenarios`) into registered runs for the invocation, and
+``--events FILE`` streams structured run events (route decisions, admission
+windows, shard gathers, sweep columns) to JSONL.  ``list --format
+markdown`` emits the registry table embedded in ``docs/experiments.md``
+(checked by CI).
 """
 
 from __future__ import annotations
@@ -73,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = sub.add_parser("list", help="list registered experiments")
     list_parser.add_argument("--tag", default="", help="comma-separated tags to filter by")
     list_parser.add_argument(
+        "--scenario",
+        default="",
+        help="also expand a scenario config (TOML/JSON) into listed entries",
+    )
+    list_parser.add_argument(
         "--format",
         default="table",
         choices=("table", "markdown"),
@@ -92,6 +103,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--output-dir", default="", help="write JSON/CSV artifacts and a manifest here"
+    )
+    run_parser.add_argument(
+        "--scenario",
+        default="",
+        help=(
+            "expand a scenario config (TOML/JSON) into registered runs for "
+            "this invocation; its cell ids become selectable via --only/--tag"
+        ),
+    )
+    run_parser.add_argument(
+        "--events",
+        default="",
+        help="stream structured run events to this JSONL file (in-process runs only)",
     )
     run_parser.add_argument("--quiet", action="store_true", help="suppress the plain-text tables")
 
@@ -344,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
     route_parser.add_argument(
         "--output-dir", default="", help="write JSON/CSV artifacts and a manifest here"
     )
+    route_parser.add_argument(
+        "--events",
+        default="",
+        help="stream structured routing/admission events to this JSONL file",
+    )
     route_parser.add_argument("--quiet", action="store_true", help="suppress the plain-text table")
 
     capacity_parser = sub.add_parser(
@@ -448,6 +477,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", required=True, help="directory holding manifest.json"
     )
 
+    compare_parser = sub.add_parser(
+        "compare", help="diff two --output-dir runs into a markdown report"
+    )
+    compare_parser.add_argument("run_a", help="first run directory (holds manifest.json)")
+    compare_parser.add_argument("run_b", help="second run directory (holds manifest.json)")
+    compare_parser.add_argument(
+        "--output", default="", help="write the markdown report here instead of stdout"
+    )
+
     return parser
 
 
@@ -477,6 +515,44 @@ def _parse_ints(text: str, flag: str) -> tuple[int, ...]:
 
 
 # --------------------------------------------------------------------------- #
+# Scenario expansion and event capture (shared by list/run/route)
+# --------------------------------------------------------------------------- #
+def _registry_with_scenario(registry: ExperimentRegistry, scenario_path: str):
+    """A merged copy of ``registry`` with a scenario file's cells registered.
+
+    Returns ``(merged_registry, config)``; the input registry is untouched
+    so one process can serve many invocations.  Scenario load/validation
+    errors surface as ``ValueError`` (exit 2 via ``main``).
+    """
+    from repro.scenarios import load_scenario, register_scenario
+
+    config = load_scenario(Path(scenario_path))
+    merged = ExperimentRegistry()
+    for spec in registry:
+        merged.register(spec)
+    register_scenario(merged, config)
+    return merged, config
+
+
+def _maybe_capture(events_path: str):
+    """A ``capture`` context streaming to ``events_path``, or a no-op one."""
+    from contextlib import nullcontext
+
+    if not events_path:
+        return nullcontext(None)
+    from repro.core.events import EventLog, capture
+
+    return capture(EventLog(path=Path(events_path)))
+
+
+def _events_entry(events_path: str, log) -> dict | None:
+    """The manifest's ``events`` record for a captured run (None when off)."""
+    if log is None:
+        return None
+    return {"path": str(events_path), "num_events": len(log), "counts": log.counts()}
+
+
+# --------------------------------------------------------------------------- #
 # recpipe list
 # --------------------------------------------------------------------------- #
 def format_markdown_listing(specs) -> str:
@@ -494,6 +570,8 @@ def format_markdown_listing(specs) -> str:
 
 
 def cmd_list(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
+    if getattr(args, "scenario", ""):
+        registry, _ = _registry_with_scenario(registry, args.scenario)
     specs = registry.select(tags=_parse_csv(args.tag))
     if getattr(args, "format", "table") == "markdown":
         print(format_markdown_listing(specs))
@@ -514,12 +592,22 @@ def cmd_list(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
 # --------------------------------------------------------------------------- #
 # recpipe run
 # --------------------------------------------------------------------------- #
-def _execute_entry(exp_id: str, seed: int | None) -> tuple[str, ExperimentResult, float]:
-    """Top-level worker so ``--jobs`` can dispatch it to other processes."""
-    spec = default_registry().get(exp_id)
+def _timed_execute(
+    registry: ExperimentRegistry, exp_id: str, seed: int | None
+) -> tuple[str, ExperimentResult, float]:
+    spec = registry.get(exp_id)
     start = time.perf_counter()
     result = spec.execute(seed=seed)
     return exp_id, result, time.perf_counter() - start
+
+
+def _execute_entry(exp_id: str, seed: int | None) -> tuple[str, ExperimentResult, float]:
+    """Top-level worker so ``--jobs`` can dispatch it to other processes.
+
+    Workers re-resolve from the process-wide default registry, so ids
+    registered dynamically in the parent (``--scenario``) are serial-only.
+    """
+    return _timed_execute(default_registry(), exp_id, seed)
 
 
 def run_experiments(
@@ -533,7 +621,7 @@ def run_experiments(
     specs = registry.select(only=only, tags=tags)
     ids = [spec.id for spec in specs]
     if jobs <= 1 or len(ids) <= 1:
-        return [_execute_entry(exp_id, seed) for exp_id in ids]
+        return [_timed_execute(registry, exp_id, seed) for exp_id in ids]
     with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
         futures = {exp_id: pool.submit(_execute_entry, exp_id, seed) for exp_id in ids}
         return [futures[exp_id].result() for exp_id in ids]
@@ -554,6 +642,8 @@ def _write_run_artifacts(
     outputs: list[tuple[str, ExperimentResult, float]],
     config: dict,
     seed: int | None,
+    resolved: dict | None = None,
+    events: dict | None = None,
 ) -> Path:
     entries = []
     for exp_id, result, elapsed in outputs:
@@ -563,13 +653,26 @@ def _write_run_artifacts(
                 output_dir, meta, result, seed=seed, wall_clock_seconds=elapsed
             )
         )
-    return artifacts.write_manifest(output_dir, "run", config, entries, seed=seed)
+    return artifacts.write_manifest(
+        output_dir, "run", config, entries, seed=seed, resolved=resolved, events=events
+    )
 
 
 def cmd_run(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
     only = _parse_csv(args.only)
     tags = _parse_csv(args.tag)
-    outputs = run_experiments(registry, only=only, tags=tags, jobs=args.jobs, seed=args.seed)
+    scenario_config = None
+    if args.scenario:
+        if args.jobs > 1:
+            raise ValueError(
+                "--scenario registers its cells in this process only; "
+                "worker processes cannot see them, so drop --jobs"
+            )
+        registry, scenario_config = _registry_with_scenario(registry, args.scenario)
+    if args.events and args.jobs > 1:
+        raise ValueError("--events captures in-process only; drop --jobs to use it")
+    with _maybe_capture(args.events) as event_log:
+        outputs = run_experiments(registry, only=only, tags=tags, jobs=args.jobs, seed=args.seed)
     if not args.quiet:
         print(format_report(outputs))
     if args.output_dir:
@@ -577,9 +680,29 @@ def cmd_run(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
             "only": only or [],
             "tag": tags or [],
             "jobs": args.jobs,
+            "scenario": args.scenario,
             "experiments": [exp_id for exp_id, _, _ in outputs],
         }
-        manifest = _write_run_artifacts(Path(args.output_dir), registry, outputs, config, args.seed)
+        executed = {exp_id for exp_id, _, _ in outputs}
+        cell_axes = {
+            spec.id: dict(spec.metadata["axes"])
+            for spec in registry
+            if spec.id in executed and "axes" in spec.metadata
+        }
+        resolved = {"experiments": sorted(executed)}
+        if scenario_config is not None:
+            resolved["scenario"] = scenario_config.name
+        if cell_axes:
+            resolved["cell_axes"] = cell_axes
+        manifest = _write_run_artifacts(
+            Path(args.output_dir),
+            registry,
+            outputs,
+            config,
+            args.seed,
+            resolved=resolved,
+            events=_events_entry(args.events, event_log),
+        )
         print(f"wrote {len(outputs)} experiment artifact pairs + {manifest}")
     return 0
 
@@ -696,8 +819,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
             wall_clock_seconds=elapsed,
         )
+        resolved = {
+            "engine": config.engine,
+            "estimator": None,
+            "service_model": "deterministic",
+            "cluster": "single-node",
+            "platforms": list(config.platforms),
+        }
         manifest = artifacts.write_manifest(
-            Path(args.output_dir), "sweep", cli_config, entries, seed=args.seed
+            Path(args.output_dir), "sweep", cli_config, entries, seed=args.seed, resolved=resolved
         )
         print(f"wrote {len(entries)} sweep artifact pairs + {manifest}")
     return 0
@@ -808,70 +938,71 @@ def cmd_route(args: argparse.Namespace) -> int:
     traces = _route_traces(args)
     result = ExperimentResult(name=f"route_{args.dataset}")
     steps_result = ExperimentResult(name=f"route_{args.dataset}_steps")
-    if args.mode == "per-query":
-        frontend = StreamingFrontend(
-            router,
-            window_seconds=args.window_seconds,
-            max_batch=max_batch,
-            batching=not args.no_batching,
-            defer_windows=args.defer_windows,
-            arrival_process=args.arrival_process,
-            arrival_seed=args.seed,
-        )
-        for trace in traces:
-            static = route_static(table, trace, planning_qps=args.planning_qps)
-            oracle = route_oracle(table, trace)
-            served = frontend.serve(trace)
-            result.add(**bound_row(trace, static))
-            result.add(**bound_row(trace, oracle))
-            result.add(**frontend_row(trace, served, args.estimator))
-            schedule = served.schedule
-            for w in range(schedule.num_windows):
-                path = table.paths[int(schedule.window_paths[w])]
-                steps_result.add(
-                    trace=trace.name,
-                    window=w,
-                    estimated_qps=float(schedule.estimates[w]),
-                    path=path.name,
-                    switch=bool(schedule.window_switches[w]),
-                    arrivals=int(schedule.window_arrivals[w]),
-                    admitted=int(schedule.window_admitted[w]),
-                    deferred=int(schedule.window_deferred[w]),
-                    shed=int(schedule.window_shed[w]),
-                    shed_reason=str(schedule.window_shed_reason[w]),
-                    batch_size=int(schedule.window_batch[w]),
-                )
-            result.note(
-                f"{trace.name}: SLA-violation rate static {static.violation_rate:.3f} "
-                f"-> frontend {served.routing.violation_rate:.3f} "
-                f"(shed {schedule.shed_rate:.3f}, defer {schedule.defer_rate:.3f}, "
-                f"mean batch {schedule.mean_batch_size:.1f})"
+    with _maybe_capture(args.events) as event_log:
+        if args.mode == "per-query":
+            frontend = StreamingFrontend(
+                router,
+                window_seconds=args.window_seconds,
+                max_batch=max_batch,
+                batching=not args.no_batching,
+                defer_windows=args.defer_windows,
+                arrival_process=args.arrival_process,
+                arrival_seed=args.seed,
             )
-    else:
-        for trace in traces:
-            routings = compare_policies(
-                table, trace, router=router, planning_qps=args.planning_qps
-            )
-            for policy, routing in routings.items():
-                estimator = args.estimator if policy == "online" else "-"
-                result.add(**result_row(trace, routing, estimator=estimator))
-            online = routings["online"]
-            estimates = router.estimate_series(trace)
-            for step, (path_index, switched) in enumerate(
-                zip(online.path_steps, online.switch_steps)
-            ):
-                path = table.paths[path_index]
-                steps_result.add(
-                    trace=trace.name,
-                    step=step,
-                    qps=float(trace.qps[step]),
-                    estimated_qps=float(estimates[step]),
-                    platform=path.platform,
-                    pipeline=path.pipeline.name,
-                    path=path.name,
-                    switch=bool(switched),
+            for trace in traces:
+                static = route_static(table, trace, planning_qps=args.planning_qps)
+                oracle = route_oracle(table, trace)
+                served = frontend.serve(trace)
+                result.add(**bound_row(trace, static))
+                result.add(**bound_row(trace, oracle))
+                result.add(**frontend_row(trace, served, args.estimator))
+                schedule = served.schedule
+                for w in range(schedule.num_windows):
+                    path = table.paths[int(schedule.window_paths[w])]
+                    steps_result.add(
+                        trace=trace.name,
+                        window=w,
+                        estimated_qps=float(schedule.estimates[w]),
+                        path=path.name,
+                        switch=bool(schedule.window_switches[w]),
+                        arrivals=int(schedule.window_arrivals[w]),
+                        admitted=int(schedule.window_admitted[w]),
+                        deferred=int(schedule.window_deferred[w]),
+                        shed=int(schedule.window_shed[w]),
+                        shed_reason=str(schedule.window_shed_reason[w]),
+                        batch_size=int(schedule.window_batch[w]),
+                    )
+                result.note(
+                    f"{trace.name}: SLA-violation rate static {static.violation_rate:.3f} "
+                    f"-> frontend {served.routing.violation_rate:.3f} "
+                    f"(shed {schedule.shed_rate:.3f}, defer {schedule.defer_rate:.3f}, "
+                    f"mean batch {schedule.mean_batch_size:.1f})"
                 )
-            result.note(violation_note(trace, routings))
+        else:
+            for trace in traces:
+                routings = compare_policies(
+                    table, trace, router=router, planning_qps=args.planning_qps
+                )
+                for policy, routing in routings.items():
+                    estimator = args.estimator if policy == "online" else "-"
+                    result.add(**result_row(trace, routing, estimator=estimator))
+                online = routings["online"]
+                estimates = router.estimate_series(trace)
+                for step, (path_index, switched) in enumerate(
+                    zip(online.path_steps, online.switch_steps)
+                ):
+                    path = table.paths[path_index]
+                    steps_result.add(
+                        trace=trace.name,
+                        step=step,
+                        qps=float(trace.qps[step]),
+                        estimated_qps=float(estimates[step]),
+                        platform=path.platform,
+                        pipeline=path.pipeline.name,
+                        path=path.name,
+                        switch=bool(switched),
+                    )
+                result.note(violation_note(trace, routings))
     elapsed = time.perf_counter() - start
 
     if not args.quiet:
@@ -933,8 +1064,22 @@ def cmd_route(args: argparse.Namespace) -> int:
                 Path(args.output_dir), steps_meta, steps_result, seed=args.seed
             )
         )
+        resolved = {
+            "engine": "analytic",
+            "estimator": args.estimator,
+            "service_model": args.service_model,
+            "cluster": "single-node",
+            "platforms": list(_parse_platforms(args.platform)),
+            "mode": args.mode,
+        }
         manifest = artifacts.write_manifest(
-            Path(args.output_dir), "route", cli_config, entries, seed=args.seed
+            Path(args.output_dir),
+            "route",
+            cli_config,
+            entries,
+            seed=args.seed,
+            resolved=resolved,
+            events=_events_entry(args.events, event_log),
         )
         print(f"wrote {len(entries)} route artifact pairs + {manifest}")
     return 0
@@ -1013,8 +1158,20 @@ def cmd_capacity(args: argparse.Namespace) -> int:
                 Path(args.output_dir), frontier_meta, frontier, seed=args.seed
             )
         )
+        resolved = {
+            "engine": "analytic",
+            "estimator": None,
+            "service_model": "deterministic",
+            "cluster": f"up to {args.max_nodes} nodes ({args.strategy} sharding)",
+            "platforms": list(platforms),
+        }
         manifest = artifacts.write_manifest(
-            Path(args.output_dir), "capacity", cli_config, entries, seed=args.seed
+            Path(args.output_dir),
+            "capacity",
+            cli_config,
+            entries,
+            seed=args.seed,
+            resolved=resolved,
         )
         print(f"wrote {len(entries)} capacity artifact pairs + {manifest}")
     return 0
@@ -1043,6 +1200,23 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# recpipe compare
+# --------------------------------------------------------------------------- #
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.compare import compare_runs
+
+    report = compare_runs(Path(args.run_a), Path(args.run_b))
+    if args.output:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(report, encoding="utf-8")
+        print(f"wrote {output}")
+    else:
+        print(report, end="")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------------- #
 def main(argv: list[str] | None = None) -> int:
@@ -1062,6 +1236,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_capacity(args)
         if args.command == "report":
             return cmd_report(args)
+        if args.command == "compare":
+            return cmd_compare(args)
     except (UnknownExperimentError, UnknownTagError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"{PROG}: error: {message}", file=sys.stderr)

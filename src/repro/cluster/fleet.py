@@ -33,6 +33,7 @@ from repro.accel.area_power import AreaPowerModel
 from repro.accel.embedding_cache import EmbeddingCacheConfig
 from repro.cluster.sharding import ShardingPlan
 from repro.cluster.topology import InterconnectLink, gather_seconds_per_node
+from repro.core.events import active_log
 from repro.serving.resources import PipelinePlan, StageResource
 from repro.serving.router import PathTable, ServingPath
 
@@ -339,6 +340,14 @@ def build_cluster_table(
     weights = capacities / capacities.sum(axis=1, keepdims=True)
 
     label = mix_label(nodes)
+    log = active_log()
+    if log is not None:
+        log.emit(
+            "shard_gather",
+            mix=label,
+            num_nodes=len(nodes),
+            gather_us=[float(g) * 1e6 for g in gather],
+        )
     grid = tuple(float(q) for q in qps_grid)
     paths: list[ServingPath] = []
     p99_rows = np.empty((num_paths, len(grid)))

@@ -41,6 +41,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.core.events import active_log
 from repro.core.mapping import HardwarePool
 from repro.core.pipeline import PipelineConfig, enumerate_pipelines
 from repro.core.scheduler import EvaluatedConfig, RecPipeScheduler
@@ -463,9 +464,27 @@ def run_sweep(
     columns = [
         (platform, index) for platform in config.platforms for index in range(len(pipelines))
     ]
+    log = active_log()
+
+    def _column_done(column: tuple[str, int], evaluated: list[EvaluatedConfig]) -> None:
+        # Progress observability: one event per finished (platform,
+        # pipeline) column.  Workers cannot emit across process
+        # boundaries, so the pool path reports from the parent as each
+        # future resolves.
+        if log is not None:
+            platform, index = column
+            log.emit(
+                "sweep_column",
+                platform=platform,
+                pipeline=pipelines[int(index)].name,
+                cells=len(evaluated),
+                saturated=sum(1 for e in evaluated if e.saturated),
+            )
+
+    evaluated_columns: dict[tuple[str, int], list[EvaluatedConfig]] = {}
     if jobs <= 1 or len(columns) <= 1:
-        evaluated_columns = {
-            (platform, index): _evaluate_column(
+        for platform, index in columns:
+            evaluated = _evaluate_column(
                 scheduler,
                 pipelines[index],
                 platform,
@@ -473,8 +492,8 @@ def run_sweep(
                 qualities.get(pipelines[index].name),
                 seeds[(platform, pipelines[index].name)],
             )
-            for platform, index in columns
-        }
+            evaluated_columns[(platform, index)] = evaluated
+            _column_done((platform, index), evaluated)
     else:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(columns)),
@@ -484,7 +503,9 @@ def run_sweep(
             futures = {
                 column: pool.submit(_evaluate_column_in_worker, *column) for column in columns
             }
-            evaluated_columns = {column: future.result() for column, future in futures.items()}
+            for column, future in futures.items():
+                evaluated_columns[column] = future.result()
+                _column_done(column, evaluated_columns[column])
 
     # Transpose columns back into the (platform, qps) cells the
     # cross-sections consume, preserving pipeline enumeration order.

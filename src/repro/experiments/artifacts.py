@@ -29,6 +29,13 @@ from repro.experiments.common import ExperimentResult
 
 MANIFEST_NAME = "manifest.json"
 
+#: Manifest schema history: version 1 carried command/seed/config/experiments;
+#: version 2 adds ``schema_version`` itself, the ``resolved`` knob record
+#: (engine, estimator, service model, cluster mix actually used) and the
+#: optional ``events`` entry (the run's JSONL event log).  Readers treat a
+#: manifest without the field as version 1.
+MANIFEST_SCHEMA_VERSION = 2
+
 
 def _json_default(value):
     """Coerce numpy scalars/arrays so every row serializes cleanly."""
@@ -226,25 +233,46 @@ def write_manifest(
     config: Mapping,
     entries: Sequence[Mapping],
     seed: int | None = None,
+    resolved: Mapping | None = None,
+    events: Mapping | None = None,
 ) -> Path:
-    """Write ``manifest.json`` describing the whole run."""
+    """Write ``manifest.json`` describing the whole run.
+
+    ``config`` records the *requested* knobs (CLI flags, scenario axes);
+    ``resolved`` records what the run actually used once defaults and
+    fallbacks applied — engine, estimator, service model, cluster mix —
+    so two manifests are comparable even when one leaned on defaults.
+    ``events`` names the run's JSONL event log, when one was captured.
+    """
     output_dir = Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     path = output_dir / MANIFEST_NAME
-    _dump_json(
-        path,
-        {
-            "command": command,
-            "seed": seed,
-            "config": dict(config),
-            "experiments": [dict(entry) for entry in entries],
-        },
-    )
+    payload = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "command": command,
+        "seed": seed,
+        "config": dict(config),
+        "resolved": dict(resolved) if resolved else {},
+        "experiments": [dict(entry) for entry in entries],
+    }
+    if events:
+        payload["events"] = dict(events)
+    _dump_json(path, payload)
     return path
 
 
 def load_manifest(output_dir: Path) -> dict:
     return _load_json(Path(output_dir) / MANIFEST_NAME)
+
+
+def manifest_schema_version(manifest: Mapping) -> int:
+    """The schema version a loaded manifest was written under (1 if absent)."""
+    return int(manifest.get("schema_version", 1))
+
+
+def manifest_resolved(manifest: Mapping) -> dict:
+    """The resolved-knob record, tolerating version-1 manifests (empty)."""
+    return dict(manifest.get("resolved") or {})
 
 
 def strip_timing(manifest: Mapping) -> dict:

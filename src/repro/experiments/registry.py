@@ -58,6 +58,9 @@ class ExperimentSpec:
     tags: tuple[str, ...] = ()
     depends_on: tuple[str, ...] = ()
     module: str = ""
+    #: Structured provenance (scenario name, axis assignment, ...) carried
+    #: into run manifests so ``recpipe compare`` can diff what varied.
+    metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.id:
@@ -88,6 +91,7 @@ class ExperimentSpec:
             "tags": list(self.tags),
             "depends_on": list(self.depends_on),
             "module": self.module,
+            "metadata": dict(self.metadata),
         }
 
 
@@ -235,6 +239,12 @@ def _build_default_registry() -> ExperimentRegistry:
         ("capacity", capacity_planning),
     ):
         registry.register(_spec_from_module(exp_id, module))
+    # Imported here, not at module top: the scenario runner imports
+    # ExperimentSpec from this module (lazily), so the package edge must
+    # resolve after the class definitions above exist.
+    from repro.scenarios.runner import builtin_scenario, register_scenario
+
+    register_scenario(registry, builtin_scenario())
     return registry
 
 

@@ -1,58 +1,35 @@
-"""Back-compat text runner on top of the experiment registry.
+"""Deprecated: use ``recpipe run`` / :func:`repro.cli.run_experiments` instead.
 
-The ``recpipe`` CLI (:mod:`repro.cli`) supersedes this module; it remains so
-existing scripts and the benchmark suite keep working::
-
-    python -m repro.experiments.runner            # print all regenerated tables
-    python -m repro.experiments.runner --only fig12,fig07
-    python -m repro.experiments.runner --output results.txt
-
-New code should use ``recpipe run`` (artifacts, tags, process-parallelism) or
-call :func:`repro.cli.run_experiments` directly.
+This module was the pre-CLI text runner.  It is now a thin deprecation
+stub: ``python -m repro.experiments.runner`` still prints the regenerated
+tables (with a :class:`DeprecationWarning`) so old scripts keep working
+for one more release, but everything else moved to :mod:`repro.cli` and
+:mod:`repro.experiments.registry`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-
-from repro.cli import _execute_entry, format_report
-from repro.experiments.common import ExperimentResult
-from repro.experiments.registry import default_registry
-
-#: Registry view of experiment id -> run callable, in reporting order.
-#: Kept for backward compatibility; the source of truth is
-#: :func:`repro.experiments.registry.default_registry`.
-EXPERIMENTS = {spec.id: spec.run for spec in default_registry()}
-
-
-def run_all(only: list[str] | None = None) -> list[tuple[str, ExperimentResult, float]]:
-    """Run the selected experiments and return (id, result, seconds) tuples.
-
-    Unlike ``recpipe run`` (which reports in registry order), ``only`` ids run
-    in the order given, duplicates included — the historical behavior.
-    """
-    registry = default_registry()
-    ids = list(only) if only else registry.ids()
-    for exp_id in ids:
-        registry.get(exp_id)  # raises UnknownExperimentError (a KeyError)
-    return [_execute_entry(exp_id, None) for exp_id in ids]
+import warnings
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Run the selected experiments via :func:`repro.cli.run_experiments`."""
+    from repro.cli import _parse_csv, format_report, run_experiments
+    from repro.experiments.registry import default_registry
+
+    warnings.warn(
+        "python -m repro.experiments.runner is deprecated; use `recpipe run` "
+        "(repro.cli) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--only",
-        type=str,
-        default="",
-        help="comma-separated experiment ids (e.g. fig07,fig12); default: all",
-    )
-    parser.add_argument(
-        "--output", type=str, default="", help="write the report to this file as well"
-    )
+    parser.add_argument("--only", type=str, default="", help="comma-separated experiment ids")
+    parser.add_argument("--output", type=str, default="", help="write the report to this file")
     args = parser.parse_args(argv)
-    only = [name.strip() for name in args.only.split(",") if name.strip()] or None
-    outputs = run_all(only)
+    outputs = run_experiments(default_registry(), only=_parse_csv(args.only))
     report = format_report(outputs)
     print(report)
     if args.output:

@@ -52,7 +52,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.serving.metrics import weighted_percentile
-from repro.serving.router import MultiPathRouter, PathTable, RoutingResult
+from repro.serving.router import MultiPathRouter, PathTable, RoutingResult, _event_log
 from repro.serving.trace import LoadTrace
 
 __all__ = [
@@ -435,6 +435,7 @@ class StreamingFrontend:
         window = self._window_width(trace)
         if stream is None:
             stream = self._stream_for(trace)
+        log = _event_log()
         estimates, paths, switches = self.decide_windows(trace)
         num_windows = estimates.size
         paths_array = np.asarray(paths, dtype=np.intp)
@@ -501,9 +502,35 @@ class StreamingFrontend:
             if shed[w]:
                 shed_reason[w] = "no-capacity" if cap == 0 else "queue-full"
             max_queue_depth = max(max_queue_depth, backlog_size)
+            # Only eventful windows are logged (shed, deferred or switched):
+            # quiet windows dominate healthy streams and would swamp the log.
+            if log is not None and (shed[w] or deferred[w] or switches[w]):
+                log.emit(
+                    "admission_window",
+                    window=w,
+                    path_name=self.table.paths[path].name,
+                    arrivals=int(arrivals[w]),
+                    admitted=int(admitted[w]),
+                    deferred=int(deferred[w]),
+                    shed=int(shed[w]),
+                    shed_reason=str(shed_reason[w]),
+                    queue_depth=backlog_size,
+                    switch=bool(switches[w]),
+                )
         # Queries still queued when the stream ends were never served.
         for lo, hi in backlog:
             query_state[lo:hi] = QUERY_SHED
+        if log is not None:
+            log.emit(
+                "stream_summary",
+                trace=trace.name,
+                num_windows=int(num_windows),
+                offered=int(stream.num_queries),
+                admitted=int(admitted.sum()),
+                deferred=int(deferred.sum()),
+                shed=int(shed.sum()) + backlog_size,
+                max_queue_depth=int(max_queue_depth),
+            )
 
         return FrontendSchedule(
             trace_name=trace.name,

@@ -74,6 +74,19 @@ __all__ = [
 ]
 
 
+def _event_log():
+    """The active :class:`~repro.core.events.EventLog`, or ``None``.
+
+    Imported lazily because the core layer imports serving at module
+    scope; the reverse runtime edge must not exist at import time.  The
+    lookup runs once per routed *trace*, never per step, so the hot loop
+    cost is one ``is None`` check.
+    """
+    from repro.core.events import active_log
+
+    return active_log()
+
+
 @dataclass(frozen=True)
 class ServingPath:
     """One runnable execution path: a pipeline mapped onto a platform.
@@ -1049,6 +1062,7 @@ class MultiPathRouter:
             raise ValueError("estimates must form a 1-D, non-empty series")
         if self.dwell_forecaster is not None:
             self.dwell_forecaster.reset()
+        log = _event_log()
         candidates = self.table.best_path_batch(estimates)
         current = int(candidates[0])
         steps = [current]
@@ -1056,6 +1070,15 @@ class MultiPathRouter:
         pending: int | None = None
         streak = 0
         dwell_start = 0
+        if log is not None:
+            log.emit(
+                "route_decision",
+                step=0,
+                path=current,
+                path_name=self.table.paths[current].name,
+                estimate_qps=float(estimates[0]),
+                switch=False,
+            )
         for t in range(1, estimates.size):
             candidate = int(candidates[t])
             if candidate == current:
@@ -1072,6 +1095,17 @@ class MultiPathRouter:
                 if self.dwell_forecaster is not None:
                     self.dwell_forecaster.observe_dwell(t - dwell_start)
                 dwell_start = t
+                if log is not None:
+                    log.emit(
+                        "route_decision",
+                        step=t,
+                        path=pending,
+                        path_name=self.table.paths[pending].name,
+                        previous=current,
+                        estimate_qps=float(estimates[t]),
+                        streak=streak,
+                        switch=True,
+                    )
                 current = pending
                 pending, streak = None, 0
                 switches.append(True)

@@ -1,4 +1,4 @@
-"""Tests for the consolidated experiment runner."""
+"""Tests for the deprecated legacy runner stub and result helpers."""
 
 import pytest
 
@@ -6,56 +6,29 @@ from repro.experiments import runner
 from repro.experiments.common import ExperimentResult
 
 
-class TestRunner:
-    def test_registry_covers_every_paper_artifact(self):
-        expected = {
-            "fig01",
-            "tab01",
-            "fig03",
-            "fig05",
-            "fig07",
-            "fig08",
-            "fig10",
-            "fig11",
-            "fig12",
-            "fig13",
-            "fig14",
-            "sweepmp",  # cross-platform sweep (Figures 8-10 comparison)
-            "router",  # online multi-path serving router (MP-Rec-style)
-            "frontend",  # per-query streaming frontend (admission + batching)
-            "flashcrowd",  # cache-aware flash crowd (stochastic service times)
-            "coldcache",  # cache-aware cold-cache re-warm (stochastic service times)
-            "bench-sim",  # simulator engine benchmark (event vs analytic)
-            "capacity",  # fleet capacity planning (cluster layer)
-        }
-        assert set(runner.EXPERIMENTS) == expected
+class TestDeprecatedRunnerStub:
+    def test_main_warns_and_prints_tables(self, capsys):
+        with pytest.warns(DeprecationWarning, match="recpipe run"):
+            assert runner.main(["--only", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert "TOTAL rpaccel" in out
 
-    def test_run_selected_subset(self):
-        outputs = runner.run_all(only=["fig01", "fig11"])
-        assert [name for name, _, _ in outputs] == ["fig01", "fig11"]
-        for _, result, elapsed in outputs:
-            assert isinstance(result, ExperimentResult)
-            assert result.rows
-            assert elapsed >= 0.0
+    def test_main_writes_output_file(self, tmp_path):
+        path = tmp_path / "report.txt"
+        with pytest.warns(DeprecationWarning):
+            assert runner.main(["--only", "fig11", "--output", str(path)]) == 0
+        assert "area" in path.read_text()
 
     def test_unknown_experiment_rejected(self):
-        with pytest.raises(KeyError):
-            runner.run_all(only=["fig99"])
+        with pytest.warns(DeprecationWarning), pytest.raises(KeyError):
+            runner.main(["--only", "fig99"])
 
-    def test_run_all_preserves_requested_order(self):
-        outputs = runner.run_all(only=["fig11", "fig01"])
-        assert [name for name, _, _ in outputs] == ["fig11", "fig01"]
-
-    def test_format_report_contains_tables(self):
-        outputs = runner.run_all(only=["fig11"])
-        report = runner.format_report(outputs)
-        assert "fig11" in report
-        assert "TOTAL rpaccel" in report
-
-    def test_cli_writes_output_file(self, tmp_path):
-        path = tmp_path / "report.txt"
-        assert runner.main(["--only", "fig11", "--output", str(path)]) == 0
-        assert "area" in path.read_text()
+    def test_legacy_dict_api_is_gone(self):
+        # The EXPERIMENTS mapping moved to the registry; the stub must not
+        # resurrect it (callers should use default_registry()).
+        assert not hasattr(runner, "EXPERIMENTS")
+        assert not hasattr(runner, "run_all")
 
 
 class TestExperimentResultHelpers:

@@ -30,6 +30,11 @@ ALL_IDS = [
     "coldcache",
     "bench-sim",
     "capacity",
+    # The builtin "routergrid" scenario expands into one entry per cell.
+    "routergrid-spike-windowed",
+    "routergrid-spike-holt",
+    "routergrid-diurnal-windowed",
+    "routergrid-diurnal-holt",
 ]
 
 
@@ -55,7 +60,7 @@ class TestDefaultRegistry:
     def test_covers_every_paper_artifact(self):
         registry = default_registry()
         assert registry.ids() == ALL_IDS
-        assert len(registry) == 18
+        assert len(registry) == 22
 
     def test_every_spec_has_metadata(self):
         for spec in default_registry():
@@ -63,7 +68,17 @@ class TestDefaultRegistry:
             assert spec.paper_ref
             assert spec.tags
             assert callable(spec.run)
-            assert spec.module.startswith("repro.experiments.")
+            assert spec.module.startswith(("repro.experiments.", "repro.scenarios."))
+
+    def test_builtin_scenario_cells_are_tagged_and_annotated(self):
+        registry = default_registry()
+        cells = registry.select(tags=["scenario:routergrid"])
+        assert len(cells) == 4
+        for spec in cells:
+            assert "scenario" in spec.tags
+            assert spec.metadata["scenario"] == "routergrid"
+            assert set(spec.metadata["axes"]) == {"trace", "estimator"}
+            assert spec.accepts_seed
 
     def test_unknown_id_raises(self):
         with pytest.raises(UnknownExperimentError):

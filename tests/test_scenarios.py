@@ -1,0 +1,241 @@
+"""Tests for the declarative scenario suite (``repro.scenarios``)."""
+
+import json
+
+import pytest
+
+from repro.experiments.registry import ExperimentRegistry, ExperimentSpec, default_registry
+from repro.scenarios import (
+    AXES,
+    BASE_DEFAULTS,
+    ScenarioConfig,
+    ScenarioError,
+    builtin_scenario,
+    load_scenario,
+    register_scenario,
+    run_cell,
+    scenario_from_mapping,
+    scenario_specs,
+)
+from repro.scenarios.config import parse_mix
+
+CHEAP_BASE = {
+    "platforms": "cpu",
+    "num_queries": 200,
+    "pool": 256,
+    "steps": 12,
+    "qps_grid": (100, 1000, 2500, 4000),
+}
+
+
+def cheap_mapping(axes=None, name="t"):
+    return {
+        "scenario": {"name": name},
+        "base": dict(CHEAP_BASE),
+        "axes": axes or {"estimator": ["windowed", "holt"]},
+    }
+
+
+class TestScenarioConfig:
+    def test_expand_is_cartesian_in_axis_order(self):
+        config = scenario_from_mapping(
+            cheap_mapping(axes={"estimator": ["windowed", "holt"], "trace": ["spike", "ramp"]})
+        )
+        cells = config.expand()
+        # AXES order puts trace before estimator regardless of input order.
+        assert [cell.id for cell in cells] == [
+            "t-spike-windowed",
+            "t-spike-holt",
+            "t-ramp-windowed",
+            "t-ramp-holt",
+        ]
+        assert all(tuple(cell.axes) == ("trace", "estimator") for cell in cells)
+
+    def test_params_merge_defaults_base_then_axes(self):
+        config = scenario_from_mapping(cheap_mapping())
+        cell = config.expand()[0]
+        assert cell.params["pool"] == 256  # base overrides the default
+        assert cell.params["sla_ms"] == BASE_DEFAULTS["sla_ms"]  # default kept
+        assert cell.params["estimator"] == "windowed"  # axis assignment wins
+
+    def test_cell_ids_slug_awkward_values(self):
+        config = scenario_from_mapping(
+            cheap_mapping(axes={"platforms": ["cpu+gpu-cpu"], "estimator": ["holt"]})
+        )
+        assert config.expand()[0].id == "t-holt-cpu-gpu-cpu"
+
+    def test_cell_label_names_the_assignment(self):
+        config = scenario_from_mapping(cheap_mapping())
+        assert config.expand()[0].label == "estimator=windowed"
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda d: d["scenario"].update(name="Bad Name"), "name"),
+            (lambda d: d["base"].update(bogus_knob=1), "bogus_knob"),
+            (lambda d: d["base"].update(dataset="netflix"), "dataset"),
+            (lambda d: d.update(axes={"color": ["red"]}), "color"),
+            (lambda d: d.update(axes={"estimator": []}), "no values"),
+            (lambda d: d.update(axes={"estimator": ["holt", "holt"]}), "repeats a value"),
+            (lambda d: d.update(axes={"estimator": ["psychic"]}), "psychic"),
+            (lambda d: d.update(axes={}), "declares no axes"),
+            (lambda d: d.update(extra_section={}), "extra_section"),
+            (lambda d: d["scenario"].pop("name"), "name"),
+        ],
+    )
+    def test_validation_errors(self, mutate, match):
+        data = cheap_mapping()
+        mutate(data)
+        with pytest.raises(ScenarioError, match=match):
+            scenario_from_mapping(data)
+
+    def test_scenario_error_is_a_value_error(self):
+        # main() maps ValueError to exit 2; scenario errors must ride along.
+        assert issubclass(ScenarioError, ValueError)
+
+    def test_scalar_axis_value_normalized_to_one_cell(self):
+        config = scenario_from_mapping(cheap_mapping(axes={"estimator": "holt"}))
+        assert [cell.id for cell in config.expand()] == ["t-holt"]
+
+    def test_axes_must_exist(self):
+        with pytest.raises(ScenarioError, match="declares no axes"):
+            ScenarioConfig(name="t", axes={})
+
+
+class TestMixParsing:
+    def test_counted_and_joined_terms(self):
+        assert parse_mix("2xcpu") == ("cpu", "cpu")
+        assert parse_mix("cpu+gpu-cpu") == ("cpu", "gpu-cpu")
+        assert parse_mix("2xcpu+rpaccel") == ("cpu", "cpu", "rpaccel")
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ScenarioError, match="tpu"):
+            parse_mix("2xtpu")
+
+    def test_nodes_axis_accepts_single_node_sentinel(self):
+        config = scenario_from_mapping(cheap_mapping(axes={"nodes": ["1", "2xcpu"]}))
+        assert [cell.id for cell in config.expand()] == ["t-1", "t-2xcpu"]
+
+
+class TestLoadScenario:
+    def test_json_file_round_trips(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(cheap_mapping()), encoding="utf-8")
+        config = load_scenario(path)
+        assert config.name == "t"
+        assert len(config.expand()) == 2
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "s.yaml"
+        path.write_text("{}", encoding="utf-8")
+        with pytest.raises(ScenarioError, match="suffix"):
+            load_scenario(path)
+
+    def test_invalid_json_reports_the_source(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ScenarioError, match="s.json"):
+            load_scenario(path)
+
+    def test_toml_file_loads_on_modern_python(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "s.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    "[scenario]",
+                    'name = "t"',
+                    "[base]",
+                    'platforms = "cpu"',
+                    "[axes]",
+                    'estimator = ["windowed", "holt"]',
+                ]
+            ),
+            encoding="utf-8",
+        )
+        config = load_scenario(path)
+        assert [cell.id for cell in config.expand()] == ["t-windowed", "t-holt"]
+
+
+class TestScenarioSpecs:
+    def test_specs_carry_tags_title_and_metadata(self):
+        config = scenario_from_mapping(cheap_mapping())
+        config = ScenarioConfig(
+            name=config.name,
+            title="Cheap grid",
+            tags=("smoke",),
+            base=config.base,
+            axes=config.axes,
+        )
+        specs = scenario_specs(config)
+        assert [spec.id for spec in specs] == ["t-windowed", "t-holt"]
+        for spec in specs:
+            assert isinstance(spec, ExperimentSpec)
+            assert spec.tags == ("scenario", "scenario:t", "smoke")
+            assert spec.title.startswith("Cheap grid [")
+            assert spec.metadata["scenario"] == "t"
+            assert spec.module == "repro.scenarios.runner"
+
+    def test_register_scenario_rejects_id_collisions(self):
+        registry = ExperimentRegistry()
+        config = scenario_from_mapping(cheap_mapping())
+        register_scenario(registry, config)
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(registry, config)
+
+    def test_run_cell_produces_policy_rows(self):
+        config = scenario_from_mapping(cheap_mapping(axes={"estimator": ["windowed"]}))
+        result = run_cell(config.expand()[0])
+        assert {row["policy"] for row in result.rows} == {"static", "oracle", "online"}
+        assert all(row["scenario"] == "t" for row in result.rows)
+        assert all(row["estimator"] in ("windowed", "-") for row in result.rows)
+        assert result.notes
+
+    def test_run_cell_is_seed_deterministic(self):
+        config = scenario_from_mapping(cheap_mapping(axes={"estimator": ["windowed"]}))
+        cell = config.expand()[0]
+        assert run_cell(cell, seed=3).rows == run_cell(cell, seed=3).rows
+
+    def test_cluster_cell_runs_on_a_node_mix(self):
+        config = scenario_from_mapping(cheap_mapping(axes={"nodes": ["2xcpu"]}))
+        result = run_cell(config.expand()[0])
+        assert len(result.rows) == 3
+
+
+class TestBuiltinScenario:
+    def test_builtin_expands_into_the_default_registry(self):
+        config = builtin_scenario()
+        assert config.name == "routergrid"
+        registry = default_registry()
+        for cell in config.expand():
+            assert cell.id in registry
+
+    def test_builtin_axes(self):
+        config = builtin_scenario()
+        assert set(config.axes) == {"trace", "estimator"}
+        assert len(config.expand()) == 4
+
+
+class TestScenarioCli:
+    def test_run_scenario_with_jobs_rejected(self, capsys):
+        from repro.cli import main
+
+        status = main(
+            ["run", "--scenario", "scenarios/smoke.json", "--jobs", "2", "--quiet"]
+        )
+        assert status == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_list_scenario_shows_cells(self, capsys):
+        from repro.cli import main
+
+        assert main(["list", "--scenario", "scenarios/smoke.json", "--tag", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke-spike-windowed" in out
+        assert "smoke-spike-holt" in out
+
+    def test_missing_scenario_file_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["list", "--scenario", "no/such/file.json"]) == 2
+        assert "error" in capsys.readouterr().err
